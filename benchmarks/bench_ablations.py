@@ -1,0 +1,80 @@
+"""Ablations of the two-bit scheme's design choices.
+
+The paper motivates several options without measuring them; this bench
+quantifies each against the default design:
+
+* ``keep_present1``: §3.2.1's note — dropping the Present1 encoding stays
+  correct but "keeping Present1 ... will reduce the number of broadcasts";
+* ``serialization``: the two §3.2.5 controller designs;
+* ``scrub_queued_mrequests``: §3.2.5 queue surgery vs plain denial;
+* ``owner_invalidates_on_read_query``: the paper-literal §3.2.2 case 2
+  vs the corrected Present* resolution (DESIGN.md #1).
+"""
+
+from repro.config import MachineConfig, ProtocolOptions
+from repro.stats.tables import Table
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+from benchmarks.conftest import emit
+
+N = 8
+REFS = 2000
+
+VARIANTS = [
+    ("default", ProtocolOptions()),
+    ("no Present1", ProtocolOptions(keep_present1=False)),
+    ("global serial", ProtocolOptions(serialization="global")),
+    ("no scrubbing", ProtocolOptions(scrub_queued_mrequests=False)),
+    ("owner invalidates", ProtocolOptions(owner_invalidates_on_read_query=True)),
+]
+
+
+def run(options, seed=1984):
+    workload = DuboisBriggsWorkload(
+        n_processors=N, q=0.10, w=0.3, private_blocks_per_proc=128, seed=seed
+    )
+    config = MachineConfig(
+        n_processors=N,
+        n_modules=2,
+        n_blocks=workload.n_blocks,
+        protocol="twobit",
+        options=options,
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=REFS, warmup_refs=400)
+    audit_machine(machine).raise_if_failed()
+    broadcasts = machine.results().broadcasts
+    return machine.results(), broadcasts
+
+
+def sweep():
+    return {name: run(options) for name, options in VARIANTS}
+
+
+def test_design_ablations(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        header=[
+            "variant",
+            "broadcasts",
+            "extra/ref",
+            "latency",
+            "cycles",
+        ],
+        title=f"Two-bit design ablations (n={N}, q=0.10, w=0.3)",
+        precision=4,
+    )
+    for name, (r, broadcasts) in results.items():
+        table.add_row([name, broadcasts, r.extra_commands_per_ref, r.avg_latency, r.cycles])
+    emit("ablations.txt", table.render())
+
+    default = results["default"][0]
+    # §3.2.1's claim: dropping Present1 increases broadcasts.
+    assert results["no Present1"][1] > results["default"][1]
+    # Design 1 (one command at a time) can only slow the machine down.
+    assert results["global serial"][0].cycles >= default.cycles
+    # All variants remain coherent (audited in run()); the paper-literal
+    # read-query mode trades sharer retention for an extra later miss.
+    assert results["owner invalidates"][0].miss_ratio >= default.miss_ratio

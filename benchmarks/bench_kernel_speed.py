@@ -1,0 +1,45 @@
+"""Simulator throughput: the substrate's own performance.
+
+Not a paper experiment — this keeps the discrete-event kernel and the
+full two-bit machine honest as the library grows (pytest-benchmark's
+timing statistics are the point here, unlike the pedantic one-shot
+paper benches)."""
+
+from repro.config import MachineConfig
+from repro.sim.kernel import Simulator
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+
+def test_kernel_event_throughput(benchmark):
+    def churn():
+        sim = Simulator()
+        count = 10_000
+
+        def tick(i):
+            if i < count:
+                sim.schedule(1, tick, i + 1)
+
+        sim.schedule(0, tick, 0)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(churn)
+    assert events == 10_001
+
+
+def test_machine_reference_throughput(benchmark):
+    workload = DuboisBriggsWorkload(
+        n_processors=4, q=0.05, w=0.2, private_blocks_per_proc=64, seed=3
+    )
+    config = MachineConfig(
+        n_processors=4, n_modules=2, n_blocks=workload.n_blocks
+    )
+
+    def run():
+        machine = build_machine(config, workload)
+        machine.run(refs_per_proc=500)
+        return machine.results().total_refs
+
+    refs = benchmark(run)
+    assert refs == 2000

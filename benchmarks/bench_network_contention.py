@@ -1,0 +1,87 @@
+"""The paper's open question: broadcasts vs the interconnection network.
+
+§4.3: "Of more concern is the effect of the broadcasts on traffic in the
+interconnection network ... Short of simulation, there are few
+alternatives to determine the effects of this traffic.  This will be
+investigated in future studies."
+
+This bench is that future study.  On the contention-modelled delta
+network it measures, for the two-bit scheme vs the full map, how
+broadcast fan-out turns into switch-port waiting as the machine grows —
+quantifying the degradation the paper could only assume was "not
+prohibitive" below (n-1)·T_SUM ≈ 1.
+"""
+
+from repro.config import MachineConfig
+from repro.stats.tables import Table
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+from benchmarks.conftest import emit
+
+N_VALUES = (2, 4, 8, 16)
+REFS = 1200
+
+
+def run(protocol, n, seed=1984):
+    workload = DuboisBriggsWorkload(
+        n_processors=n, q=0.10, w=0.3, private_blocks_per_proc=64, seed=seed
+    )
+    config = MachineConfig(
+        n_processors=n,
+        n_modules=4,
+        n_blocks=workload.n_blocks,
+        protocol=protocol,
+        network="delta",
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=REFS, warmup_refs=300)
+    audit_machine(machine).raise_if_failed()
+    refs = machine.results().total_refs
+    wait = machine.network.counters["wait_cycles"] / refs
+    traffic = machine.results().traffic_per_ref
+    latency = machine.results().avg_latency
+    return traffic, wait, latency
+
+
+def sweep():
+    rows = []
+    for n in N_VALUES:
+        tb = run("twobit", n)
+        fm = run("fullmap", n)
+        rows.append((n, tb, fm))
+    return rows
+
+
+def test_broadcast_contention_on_delta_network(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        header=[
+            "n",
+            "2bit traffic/ref",
+            "2bit wait/ref",
+            "2bit latency",
+            "fmap traffic/ref",
+            "fmap wait/ref",
+            "fmap latency",
+        ],
+        title="Broadcast pressure on a contention-modelled delta network "
+        "(q=0.10, w=0.3)",
+        precision=3,
+    )
+    for n, (t_t, w_t, l_t), (t_f, w_f, l_f) in rows:
+        table.add_row([str(n), t_t, w_t, l_t, t_f, w_f, l_f])
+    emit("network_contention.txt", table.render())
+
+    # Coherence traffic grows with n for both (more sharers, more misses),
+    # but the two-bit broadcasts — n-1 separate messages each on a
+    # general network — grow distinctly faster than the full map's
+    # selective commands...
+    twobit_growth = rows[-1][1][0] / rows[0][1][0]
+    fullmap_growth = rows[-1][2][0] / rows[0][2][0]
+    assert twobit_growth > 1.5 * fullmap_growth
+    # ...and at n=16 they turn into substantially more switch-port
+    # waiting — the contention the paper could not evaluate.
+    n16 = rows[-1]
+    assert n16[1][1] > 3 * n16[2][1]

@@ -1,0 +1,101 @@
+"""Simulation cross-check of the §4.2 analytic model.
+
+Not a table in the paper — this bench validates that the closed forms
+behind Table 4-1 describe the *simulated* two-bit machine.  For each
+sharing level it runs the DES, measures the extra (useless) broadcast
+commands per cache per reference, measures the state-occupancy and
+hit-ratio parameters the formula needs, and compares measured overhead
+against the formula evaluated at the measured parameters.
+
+Expected relationship (asserted): the formula is an upper bound — it
+charges worst-case n-1 recipients for Present* rounds and uses
+time-averaged state probabilities — and simulation lands within it but
+on the same curve: monotone in sharing level and in n, with the same
+growth factors.
+"""
+
+from repro.analysis.overhead_model import SharingCase, per_cache_overhead
+from repro.config import MachineConfig
+from repro.core.states import GlobalState
+from repro.stats.tables import Table
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+from benchmarks.conftest import emit
+
+SHARING_LEVELS = [("low", 0.01), ("moderate", 0.05), ("high", 0.10)]
+N_VALUES = (2, 4, 8)
+W = 0.3
+REFS = 2500
+WARMUP = 500
+
+
+def run_cell(n, q, seed=1984):
+    workload = DuboisBriggsWorkload(
+        n_processors=n, q=q, w=W, private_blocks_per_proc=128, seed=seed
+    )
+    config = MachineConfig(
+        n_processors=n,
+        n_modules=2,
+        n_blocks=workload.n_blocks,
+        protocol="twobit",
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=REFS, warmup_refs=WARMUP)
+    audit_machine(machine).raise_if_failed()
+    results = machine.results()
+    occ = machine.state_occupancy(blocks=workload.shared_blocks)
+    case = SharingCase(
+        name=f"measured-q{q}",
+        q=q,
+        h=results.shared_hit_ratio or 0.0,
+        p_p1=occ[GlobalState.PRESENT1],
+        p_pstar=occ[GlobalState.PRESENT_STAR],
+        p_pm=occ[GlobalState.PRESENTM],
+    )
+    predicted = per_cache_overhead(n, case, W) if n >= 2 else 0.0
+    return results.extra_commands_per_ref, predicted
+
+
+def sweep():
+    rows = []
+    for name, q in SHARING_LEVELS:
+        for n in N_VALUES:
+            measured, predicted = run_cell(n, q)
+            rows.append((name, q, n, measured, predicted))
+    return rows
+
+
+def test_simulation_validates_analytic_model(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        header=["sharing", "q", "n", "measured", "formula bound", "ratio"],
+        title="Simulated two-bit overhead vs §4.2 formula at measured "
+        f"parameters (w={W}, commands/ref/cache)",
+        precision=4,
+    )
+    for name, q, n, measured, predicted in rows:
+        ratio = measured / predicted if predicted else float("nan")
+        table.add_row([name, q, n, measured, predicted, ratio])
+    emit("sim_table_4_1.txt", table.render())
+
+    by_level = {
+        name: [(n, m, p) for lvl, _q, n, m, p in rows if lvl == name]
+        for name, _ in SHARING_LEVELS
+    }
+    # Monotone in n within each sharing level.
+    for name, cells in by_level.items():
+        measured_series = [m for _, m, _ in cells]
+        assert measured_series == sorted(measured_series), name
+    # Monotone in sharing level at fixed n.
+    for idx in range(len(N_VALUES)):
+        series = [by_level[name][idx][1] for name, _ in SHARING_LEVELS]
+        assert series == sorted(series)
+    # The formula bounds the measurement (small slack for sampling noise)
+    # and is not loose by more than an order of magnitude.
+    for name, q, n, measured, predicted in rows:
+        if n == 2:
+            continue  # n-2 terms vanish; both sides are tiny
+        assert measured <= predicted * 1.25, (name, n)
+        assert measured >= predicted / 10, (name, n)

@@ -1,0 +1,32 @@
+"""Table 4-1: added overhead of the two-bit scheme, (n-1)·T_SUM.
+
+Regenerates every cell from the §4.2 closed forms and checks it against
+the published table (including the one corrected typo cell).
+"""
+
+from repro.analysis.overhead_model import (
+    KNOWN_TYPOS,
+    compare_table_4_1,
+    generate_table_4_1,
+)
+
+from benchmarks.conftest import emit
+
+
+def compute():
+    table = generate_table_4_1()
+    report = compare_table_4_1()
+    return table, report
+
+
+def test_table_4_1(benchmark):
+    table, report = benchmark(compute)
+    emit(
+        "table_4_1.txt",
+        table.render() + "\n\n" + report.render(rel_tol=0.03, abs_tol=1.5e-3),
+    )
+    assert table.n_data_rows == 12  # 3 cases x 4 w values
+    assert len(report.cells) == 60
+    # Every cell within the paper's 3-decimal truncation.
+    assert report.n_matching(rel_tol=0.03, abs_tol=1.5e-3) == 60
+    assert len(KNOWN_TYPOS) == 1  # the (low, w=0.3, n=16) cell

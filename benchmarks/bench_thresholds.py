@@ -1,0 +1,28 @@
+"""§4.3 viability conclusions: two-bit acceptable to 64 / 16 / 8
+processors at low / moderate / high sharing ((n-1)·T_SUM <= 1.0)."""
+
+from repro.analysis.thresholds import (
+    PAPER_CONCLUSIONS,
+    generate_threshold_table,
+    paper_viability_conclusions,
+)
+
+from benchmarks.conftest import emit
+
+
+def compute():
+    return generate_threshold_table(), paper_viability_conclusions()
+
+
+def test_viability_thresholds(benchmark):
+    table, conclusions = benchmark(compute)
+    lines = [table.render(), ""]
+    for name, result in conclusions.items():
+        lines.append(
+            f"{name:>9}: max viable n = {result.max_viable_n:>2} "
+            f"(paper: {PAPER_CONCLUSIONS[name]:>2}), overhead there = "
+            f"{result.overhead_at_max:.3f}"
+        )
+    emit("thresholds.txt", "\n".join(lines))
+    for name, expected in PAPER_CONCLUSIONS.items():
+        assert conclusions[name].max_viable_n == expected, name

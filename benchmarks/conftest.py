@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures/claims, prints
+it (visible with ``pytest benchmarks/ --benchmark-only -s``), and saves
+the rendered artifact under ``benchmarks/results/`` so EXPERIMENTS.md can
+reference stable outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_artifact(name: str, text: str) -> Path:
+    """Persist a rendered table/report; returns the path written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist a bench artifact."""
+    print()
+    print(text)
+    save_artifact(name, text)

@@ -1,0 +1,76 @@
+"""repro — reproduction of Archibald & Baer, "An Economical Solution to
+the Cache Coherence Problem" (ISCA 1984).
+
+The package implements the paper's two-bit directory scheme, every
+baseline it compares against, a discrete-event multiprocessor simulator
+to run them on, the paper's analytical models, and a verification layer.
+
+Quick start::
+
+    from repro import MachineConfig, DuboisBriggsWorkload, build_machine
+
+    config = MachineConfig(n_processors=4, protocol="twobit")
+    workload = DuboisBriggsWorkload(n_processors=4, q=0.05, w=0.2)
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=2000, warmup_refs=500)
+    print(machine.results().summary())
+"""
+
+from repro.core import (
+    GlobalState,
+    TranslationBuffer,
+    TwoBitDirectory,
+    TwoBitDirectoryController,
+)
+from repro.system import (
+    Machine,
+    MachineConfig,
+    ProtocolOptions,
+    SimulationResults,
+    TimingConfig,
+    build_machine,
+    describe_machine,
+    render_topology,
+)
+from repro.verification import (
+    AuditReport,
+    CoherenceOracle,
+    CoherenceViolation,
+    audit_machine,
+)
+from repro.workloads import (
+    DuboisBriggsWorkload,
+    MemRef,
+    Op,
+    ScriptedWorkload,
+    TraceWorkload,
+    UniformWorkload,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AuditReport",
+    "CoherenceOracle",
+    "CoherenceViolation",
+    "DuboisBriggsWorkload",
+    "GlobalState",
+    "Machine",
+    "MachineConfig",
+    "MemRef",
+    "Op",
+    "ProtocolOptions",
+    "SimulationResults",
+    "TimingConfig",
+    "TraceWorkload",
+    "TranslationBuffer",
+    "TwoBitDirectory",
+    "TwoBitDirectoryController",
+    "UniformWorkload",
+    "Workload",
+    "audit_machine",
+    "build_machine",
+    "describe_machine",
+    "render_topology",
+]

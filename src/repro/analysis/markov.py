@@ -1,0 +1,112 @@
+"""Small dense Markov-chain utilities (pure Python).
+
+Used by the Dubois-Briggs reconstruction: chains have at most a few
+hundred states, so a dense Gaussian-elimination solve is plenty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+
+def solve_linear(a: List[List[float]], b: List[float]) -> List[float]:
+    """Solve ``a x = b`` by Gaussian elimination with partial pivoting."""
+    n = len(a)
+    if any(len(row) != n for row in a) or len(b) != n:
+        raise ValueError("dimension mismatch")
+    m = [row[:] + [b[i]] for i, row in enumerate(a)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(m[r][col]))
+        if abs(m[pivot][col]) < 1e-14:
+            raise ValueError("singular system")
+        m[col], m[pivot] = m[pivot], m[col]
+        inv = 1.0 / m[col][col]
+        for j in range(col, n + 1):
+            m[col][j] *= inv
+        for row in range(n):
+            if row != col and m[row][col]:
+                factor = m[row][col]
+                for j in range(col, n + 1):
+                    m[row][j] -= factor * m[col][j]
+    return [m[i][n] for i in range(n)]
+
+
+def stationary_distribution(
+    transition: Sequence[Sequence[float]], tolerance: float = 1e-9
+) -> List[float]:
+    """Stationary distribution of a row-stochastic matrix.
+
+    Solves ``pi (P - I) = 0`` with the normalization ``sum(pi) = 1`` by
+    replacing the last equation.
+    """
+    n = len(transition)
+    for i, row in enumerate(transition):
+        if len(row) != n:
+            raise ValueError("transition matrix must be square")
+        total = sum(row)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"row {i} sums to {total}, not 1")
+    # Columns of (P^T - I); replace the last row with the normalization.
+    a = [
+        [transition[j][i] - (1.0 if i == j else 0.0) for j in range(n)]
+        for i in range(n)
+    ]
+    b = [0.0] * n
+    a[n - 1] = [1.0] * n
+    b[n - 1] = 1.0
+    pi = solve_linear(a, b)
+    # Clamp tiny negatives from roundoff.
+    pi = [max(p, 0.0) for p in pi]
+    norm = sum(pi)
+    return [p / norm for p in pi]
+
+
+class ChainBuilder:
+    """Accumulate sparse transitions keyed by hashable states, then
+    produce a dense row-stochastic matrix (self-loops absorb residue)."""
+
+    def __init__(self, states: Sequence[Hashable]) -> None:
+        self.states: List[Hashable] = list(states)
+        self.index: Dict[Hashable, int] = {s: i for i, s in enumerate(self.states)}
+        if len(self.index) != len(self.states):
+            raise ValueError("duplicate states")
+        self._rows: Dict[int, Dict[int, float]] = {}
+
+    def add(self, src: Hashable, dst: Hashable, probability: float) -> None:
+        """Add probability mass for ``src -> dst`` (accumulates)."""
+        if probability < 0:
+            raise ValueError("negative probability")
+        if probability == 0.0:
+            return
+        i, j = self.index[src], self.index[dst]
+        self._rows.setdefault(i, {})[j] = (
+            self._rows.get(i, {}).get(j, 0.0) + probability
+        )
+
+    def matrix(self) -> List[List[float]]:
+        """Dense matrix; each row's missing mass becomes a self-loop."""
+        n = len(self.states)
+        out = [[0.0] * n for _ in range(n)]
+        for i in range(n):
+            row = self._rows.get(i, {})
+            off = 0.0
+            for j, p in row.items():
+                out[i][j] = p
+                off += p
+            if off > 1.0 + 1e-9:
+                raise ValueError(
+                    f"state {self.states[i]!r} emits probability {off} > 1"
+                )
+            out[i][i] += 1.0 - off
+        return out
+
+    def stationary(self) -> Dict[Hashable, float]:
+        pi = stationary_distribution(self.matrix())
+        return {state: pi[i] for i, state in enumerate(self.states)}
+
+
+def expectation(
+    distribution: Dict[Hashable, float], values: Dict[Hashable, float]
+) -> float:
+    """Sum of ``distribution[state] * values.get(state, 0)``."""
+    return sum(p * values.get(state, 0.0) for state, p in distribution.items())

@@ -1,0 +1,77 @@
+"""Controller-bottleneck queueing estimates (§2.4.1 / §2.4.2).
+
+The paper rejects the centralized-controller design because "the overall
+performance of this method could be severely limited by a controller
+bottleneck", and adopts per-module distribution because it "eliminates
+the potential bottleneck of a centralized controller".  These small
+M/D/1 helpers quantify that argument: a directory controller services
+requests in near-deterministic time (directory access + memory access),
+so the M/D/1 (Pollaczek-Khinchine) mean wait is the right first-order
+model for its queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def utilization(arrival_rate: float, service_time: float) -> float:
+    """Offered load rho = lambda * s (dimensionless)."""
+    if arrival_rate < 0 or service_time < 0:
+        raise ValueError("rates and times must be non-negative")
+    return arrival_rate * service_time
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean queueing delay (excluding service) of an M/D/1 server.
+
+    Pollaczek-Khinchine with deterministic service:
+    ``W = rho * s / (2 (1 - rho))``.  Raises once the queue is unstable.
+    """
+    rho = utilization(arrival_rate, service_time)
+    if rho >= 1.0:
+        raise ValueError(f"unstable queue: utilization {rho:.3f} >= 1")
+    return rho * service_time / (2.0 * (1.0 - rho))
+
+
+def md1_mean_response(arrival_rate: float, service_time: float) -> float:
+    """Mean time in system: wait + service."""
+    return md1_mean_wait(arrival_rate, service_time) + service_time
+
+
+@dataclass(frozen=True)
+class ControllerLoadModel:
+    """First-order load model of one directory controller.
+
+    Args:
+        requests_per_cycle: transaction arrival rate at this controller
+            (misses + MREQUESTs + ejects routed to its module).
+        service_time: cycles per transaction; for a directory controller
+            roughly ``directory_access + miss_fraction * mem_access``.
+    """
+
+    requests_per_cycle: float
+    service_time: float
+
+    @property
+    def utilization(self) -> float:
+        return utilization(self.requests_per_cycle, self.service_time)
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+    @property
+    def mean_wait(self) -> float:
+        return md1_mean_wait(self.requests_per_cycle, self.service_time)
+
+    def distributed(self, n_modules: int) -> "ControllerLoadModel":
+        """The same offered load spread over ``n_modules`` controllers
+        (low-order interleaving splits traffic about evenly) — §2.4.2's
+        distribution argument as an operator."""
+        if n_modules < 1:
+            raise ValueError("need at least one module")
+        return ControllerLoadModel(
+            requests_per_cycle=self.requests_per_cycle / n_modules,
+            service_time=self.service_time,
+        )

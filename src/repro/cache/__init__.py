@@ -1,0 +1,27 @@
+"""Cache subsystem: lines, arrays, replacement, write-back buffering."""
+
+from repro.cache.array import CacheArray
+from repro.cache.line import CacheLine, LocalState
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    available_policies,
+    make_policy,
+)
+from repro.cache.wbbuffer import WriteBackBuffer, WriteBackEntry
+
+__all__ = [
+    "CacheArray",
+    "CacheLine",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "LocalState",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "WriteBackBuffer",
+    "WriteBackEntry",
+    "available_policies",
+    "make_policy",
+]

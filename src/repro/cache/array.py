@@ -1,0 +1,124 @@
+"""Set-associative cache array.
+
+Pure state + lookup/victim mechanics; all protocol behaviour (what to do on
+a miss, when to write back) lives in the cache controllers.  The paper's
+``b_k`` — "the position in C_k of the block chosen to be replaced" — is the
+frame returned by :meth:`frame_for`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import FIFOPolicy, ReplacementPolicy, make_policy
+
+
+class CacheArray:
+    """A ``n_sets x associativity`` array of :class:`CacheLine` frames.
+
+    >>> arr = CacheArray(n_sets=2, associativity=2)
+    >>> arr.n_frames
+    4
+    >>> line = arr.frame_for(6)      # set 0
+    >>> line.fill(6, version=1)
+    >>> arr.lookup(6) is line
+    True
+    """
+
+    def __init__(
+        self,
+        n_sets: int,
+        associativity: int,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        if n_sets < 1 or associativity < 1:
+            raise ValueError("n_sets and associativity must be >= 1")
+        self.n_sets = n_sets
+        self.associativity = associativity
+        self.policy = policy if policy is not None else make_policy("lru")
+        self._sets: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(associativity)] for _ in range(n_sets)
+        ]
+        self._clock = 0  # internal use-ordering clock
+
+    @property
+    def n_frames(self) -> int:
+        return self.n_sets * self.associativity
+
+    def set_index(self, block: int) -> int:
+        """Which set ``block`` maps to."""
+        return block % self.n_sets
+
+    def _tick(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    # ------------------------------------------------------------------
+    # Lookup & placement
+    # ------------------------------------------------------------------
+    def lookup(self, block: int) -> Optional[CacheLine]:
+        """Return the valid line holding ``block``, or None (a miss)."""
+        for line in self._sets[self.set_index(block)]:
+            if line.valid and line.block == block:
+                return line
+        return None
+
+    def touch(self, line: CacheLine) -> None:
+        """Record a use for replacement ordering."""
+        self.policy.touch(line, self._tick())
+
+    def frame_for(self, block: int) -> CacheLine:
+        """Frame to receive ``block``: its current line if resident, else
+        the victim chosen by the replacement policy.
+
+        The caller is responsible for writing back / notifying eviction of
+        the victim's previous contents before calling
+        :meth:`CacheLine.fill`.
+        """
+        resident = self.lookup(block)
+        if resident is not None:
+            return resident
+        lines = self._sets[self.set_index(block)]
+        return lines[self.policy.victim(lines, self._clock)]
+
+    def fill(self, block: int, version: int, modified: bool = False) -> CacheLine:
+        """Place ``block`` into its frame (assumes eviction already handled)."""
+        line = self.frame_for(block)
+        line.fill(block, version, modified)
+        now = self._tick()
+        if isinstance(self.policy, FIFOPolicy):
+            self.policy.stamp_fill(line, now)
+        else:
+            self.policy.touch(line, now)
+        return line
+
+    # ------------------------------------------------------------------
+    # Introspection (audits, tests)
+    # ------------------------------------------------------------------
+    def lines(self) -> Iterator[CacheLine]:
+        """All frames, valid or not."""
+        for line_set in self._sets:
+            yield from line_set
+
+    def valid_lines(self) -> Iterator[CacheLine]:
+        for line in self.lines():
+            if line.valid:
+                yield line
+
+    def resident_blocks(self) -> List[int]:
+        """Sorted blocks currently cached."""
+        return sorted(line.block for line in self.valid_lines())  # type: ignore[arg-type]
+
+    def occupancy(self) -> Tuple[int, int]:
+        """(valid frames, total frames)."""
+        return sum(1 for _ in self.valid_lines()), self.n_frames
+
+    def invalidate_all(self) -> int:
+        """Flush without write-back (test helper); returns lines dropped."""
+        count = 0
+        for line in self.lines():
+            if line.valid:
+                line.reset()
+                count += 1
+        return count

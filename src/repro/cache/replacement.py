@@ -1,0 +1,112 @@
+"""Replacement policies for set-associative caches.
+
+A policy sees the lines of one set and picks a victim frame index.  All
+policies prefer an invalid frame when one exists (filling before evicting),
+which every reasonable hardware policy does and which the tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.cache.line import CacheLine
+
+
+class ReplacementPolicy(ABC):
+    """Victim selection within one set."""
+
+    name = "abstract"
+
+    @abstractmethod
+    def victim(self, lines: Sequence[CacheLine], now: int) -> int:
+        """Index (within the set) of the frame to replace."""
+
+    def touch(self, line: CacheLine, now: int) -> None:
+        """Record a use of ``line`` at time ``now`` (hit or fill)."""
+        line.last_use = now
+
+    @staticmethod
+    def _first_invalid(lines: Sequence[CacheLine]) -> Optional[int]:
+        for i, line in enumerate(lines):
+            if not line.valid:
+                return i
+        return None
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used valid line."""
+
+    name = "lru"
+
+    def victim(self, lines: Sequence[CacheLine], now: int) -> int:
+        invalid = self._first_invalid(lines)
+        if invalid is not None:
+            return invalid
+        return min(range(len(lines)), key=lambda i: lines[i].last_use)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the line resident longest; residency time is recorded at fill.
+
+    Implemented by only stamping ``last_use`` on fill, never on hit.
+    """
+
+    name = "fifo"
+
+    def touch(self, line: CacheLine, now: int) -> None:
+        # Only stamp when the frame is (re)filled with a new block; hits on
+        # a resident block do not refresh FIFO age.
+        if line.last_use == 0 or not line.valid:
+            line.last_use = now
+
+    def stamp_fill(self, line: CacheLine, now: int) -> None:
+        """Record arrival time at fill (called by the array)."""
+        line.last_use = now
+
+    def victim(self, lines: Sequence[CacheLine], now: int) -> int:
+        invalid = self._first_invalid(lines)
+        if invalid is not None:
+            return invalid
+        return min(range(len(lines)), key=lambda i: lines[i].last_use)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random valid line (seeded for determinism)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def victim(self, lines: Sequence[CacheLine], now: int) -> int:
+        invalid = self._first_invalid(lines)
+        if invalid is not None:
+            return invalid
+        return self._rng.randrange(len(lines))
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Factory: ``lru`` | ``fifo`` | ``random``."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(seed=seed)
+    return cls()
+
+
+def available_policies() -> List[str]:
+    """Names accepted by :func:`make_policy`."""
+    return sorted(_POLICIES)

@@ -1,0 +1,68 @@
+"""Write-back buffer.
+
+When a cache ejects a modified block it keeps the data in this buffer until
+the home controller has consumed the write-back.  The buffer is what lets
+the protocol survive the EJECT-vs-BROADQUERY race (DESIGN.md ambiguity #2):
+a cache can still supply data for a block whose eject is in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class WriteBackEntry:
+    """A dirty block awaiting acceptance by its home controller."""
+
+    block: int
+    version: int
+    #: Set when the data was instead supplied in answer to a BROADQUERY;
+    #: the controller will drop the now-stale EJECT.
+    superseded: bool = False
+
+
+class WriteBackBuffer:
+    """Blocks ejected dirty and not yet absorbed by memory."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self._entries: Dict[int, WriteBackEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._entries
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._entries) >= self.capacity
+
+    def insert(self, block: int, version: int) -> WriteBackEntry:
+        """Stage a dirty block for write-back."""
+        if block in self._entries:
+            raise ValueError(f"block {block} already staged for write-back")
+        if self.full:
+            raise OverflowError("write-back buffer full")
+        entry = WriteBackEntry(block=block, version=version)
+        self._entries[block] = entry
+        return entry
+
+    def get(self, block: int) -> Optional[WriteBackEntry]:
+        return self._entries.get(block)
+
+    def supersede(self, block: int) -> WriteBackEntry:
+        """Mark the staged data as transferred via a query response."""
+        entry = self._entries[block]
+        entry.superseded = True
+        return entry
+
+    def release(self, block: int) -> WriteBackEntry:
+        """Drop the entry once the controller has consumed the eject."""
+        return self._entries.pop(block)
+
+    def blocks(self) -> list:
+        """Blocks currently staged (sorted, for audits)."""
+        return sorted(self._entries)

@@ -1,0 +1,206 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — simulate one machine and print results + audit verdict.
+* ``tables``   — print the paper's Table 4-1 / Table 4-2 / thresholds.
+* ``topology`` — render the Figure 3-1 system for a configuration.
+* ``compare``  — run every protocol on one workload, tabulated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.dubois_briggs import generate_table_4_2
+from repro.analysis.overhead_model import compare_table_4_1, generate_table_4_1
+from repro.analysis.thresholds import generate_threshold_table
+from repro.config import NETWORKS, PROTOCOLS, MachineConfig, ProtocolOptions
+from repro.core.spec import render_spec
+from repro.stats.tables import Table
+from repro.system.builder import build_machine
+from repro.system.topology import describe_machine, render_topology
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", "--processors", type=int, default=4)
+    parser.add_argument("-m", "--modules", type=int, default=2)
+    parser.add_argument("-q", "--sharing", type=float, default=0.05,
+                        help="probability a reference is to shared data")
+    parser.add_argument("-w", "--write-frac", type=float, default=0.2,
+                        help="probability a shared reference is a write")
+    parser.add_argument("--network", choices=NETWORKS, default="xbar")
+    parser.add_argument("--refs", type=int, default=3000,
+                        help="measured references per processor")
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=1984)
+    parser.add_argument("--tbuf", type=int, default=0,
+                        help="translation buffer entries (0 = off)")
+    parser.add_argument("--dup-dir", action="store_true",
+                        help="enable the duplicate-directory enhancement")
+
+
+def _build_and_run(protocol: str, args: argparse.Namespace):
+    workload = DuboisBriggsWorkload(
+        n_processors=args.processors,
+        q=args.sharing,
+        w=args.write_frac,
+        private_blocks_per_proc=128,
+        seed=args.seed,
+    )
+    network = args.network
+    if protocol in ("write_once", "illinois") and network != "bus":
+        network = "bus"
+    config = MachineConfig(
+        n_processors=args.processors,
+        n_modules=args.modules,
+        n_blocks=workload.n_blocks,
+        protocol=protocol,
+        network=network,
+        seed=args.seed,
+        options=ProtocolOptions(
+            translation_buffer_entries=args.tbuf,
+            duplicate_directory=args.dup_dir,
+        ),
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=args.refs, warmup_refs=args.warmup)
+    return machine
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = _build_and_run(args.protocol, args)
+    print(machine.results().summary())
+    if args.verbose:
+        print()
+        print(machine.latency_histogram().render())
+        if args.protocol in ("twobit",):
+            occ = machine.state_occupancy()
+            print("\nglobal-state occupancy (time-weighted, all blocks):")
+            for state, fraction in occ.items():
+                print(f"  {state.name:<13} {fraction:.4f}")
+    report = audit_machine(machine)
+    if report.ok:
+        print("coherence audit: CLEAN")
+        return 0
+    print("coherence audit: FAILED")
+    for violation in report.violations[:10]:
+        print(f"  {violation}")
+    return 1
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    if args.table in ("4-1", "all"):
+        print(generate_table_4_1().render())
+        if args.verbose:
+            print()
+            print(compare_table_4_1().render(rel_tol=0.03, abs_tol=1.5e-3))
+        print()
+    if args.table in ("4-2", "all"):
+        print(generate_table_4_2().render())
+        print()
+    if args.table in ("thresholds", "all"):
+        print(generate_threshold_table().render())
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    config = MachineConfig(
+        n_processors=args.processors,
+        n_modules=args.modules,
+        network=args.network,
+        protocol=args.protocol,
+    )
+    if args.build:
+        workload = DuboisBriggsWorkload(
+            n_processors=args.processors, private_blocks_per_proc=16
+        )
+        machine = build_machine(
+            config.with_(n_blocks=workload.n_blocks), workload
+        )
+        print(describe_machine(machine))
+    else:
+        print(render_topology(config))
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    print(render_spec())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    table = Table(
+        header=["protocol", "cmds/ref", "extra/ref", "stolen/ref",
+                "miss", "latency"],
+        title=f"n={args.processors} q={args.sharing} w={args.write_frac}",
+        precision=4,
+    )
+    for protocol in PROTOCOLS:
+        machine = _build_and_run(protocol, args)
+        audit_machine(machine).raise_if_failed()
+        r = machine.results()
+        table.add_row(
+            [protocol, r.commands_per_ref, r.extra_commands_per_ref,
+             r.stolen_cycles_per_ref, r.miss_ratio, r.avg_latency]
+        )
+    print(table.render())
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Archibald & Baer (ISCA 1984) two-bit directory "
+        "coherence — simulator and models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one machine")
+    p_run.add_argument("--protocol", choices=PROTOCOLS, default="twobit")
+    p_run.add_argument("-v", "--verbose", action="store_true",
+                       help="also print the latency histogram and, for the "
+                       "two-bit scheme, the global-state occupancy")
+    _add_machine_args(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_tables = sub.add_parser("tables", help="print the paper's tables")
+    p_tables.add_argument(
+        "table", choices=("4-1", "4-2", "thresholds", "all"), nargs="?",
+        default="all",
+    )
+    p_tables.add_argument("-v", "--verbose", action="store_true",
+                          help="include paper-vs-ours comparison")
+    p_tables.set_defaults(fn=cmd_tables)
+
+    p_topo = sub.add_parser("topology", help="render Figure 3-1")
+    p_topo.add_argument("--protocol", choices=PROTOCOLS, default="twobit")
+    p_topo.add_argument("-n", "--processors", type=int, default=4)
+    p_topo.add_argument("-m", "--modules", type=int, default=2)
+    p_topo.add_argument("--network", choices=NETWORKS, default="xbar")
+    p_topo.add_argument("--build", action="store_true",
+                        help="assemble the machine and describe it fully")
+    p_topo.set_defaults(fn=cmd_topology)
+
+    p_spec = sub.add_parser("spec", help="print the two-bit protocol table")
+    p_spec.set_defaults(fn=cmd_spec)
+
+    p_cmp = sub.add_parser("compare", help="run every protocol")
+    _add_machine_args(p_cmp)
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

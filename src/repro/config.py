@@ -1,0 +1,176 @@
+"""Configuration dataclasses for building a simulated multiprocessor.
+
+:class:`MachineConfig` is the single object an experiment constructs; the
+builder (:mod:`repro.system.builder`) turns it into wired components.  The
+protocol-behaviour switches live in :class:`ProtocolOptions` and map
+one-to-one onto the design choices and ambiguities catalogued in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """Cycle costs shared by every protocol."""
+
+    #: One cache array access (hit service or snoop lookup).
+    cache_cycle: int = 1
+    #: Network hop / point-to-point delivery latency.
+    net_latency: int = 4
+    #: Memory module read or write occupancy.
+    mem_access: int = 10
+    #: Directory map lookup/update at the controller.
+    directory_access: int = 1
+    #: Bus slot time per occupancy unit (bus networks only).
+    bus_slot: int = 1
+    #: §4.1: selective (full-map / translation-buffer) commands require
+    #: "time to select the recipients and sequential message handling" —
+    #: extra cycles per additional selective recipient.  Default 0, the
+    #: paper's own simplifying assumption; raise it to study the
+    #: broadcast-vs-sequential trade-off.
+    selective_send_overhead: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cache_cycle",
+            "net_latency",
+            "mem_access",
+            "directory_access",
+            "bus_slot",
+            "selective_send_overhead",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class ProtocolOptions:
+    """Protocol design choices (defaults are the corrected/safe variants).
+
+    Attributes:
+        serialization: "block" lets the controller multiprogram requests
+            for distinct blocks (§3.2.5 design 2); "global" services one
+            command at a time (design 1).
+        keep_present1: encode Present1 distinctly from Present* (§3.2.1
+            note: dropping it stays correct but costs extra broadcasts).
+        owner_invalidates_on_read_query: paper-literal §3.2.2 case 2 —
+            the dirty owner invalidates on a read BROADQUERY and the new
+            state is Present1.  Default False: the owner keeps a clean
+            copy and the state becomes Present* (DESIGN.md ambiguity #1).
+        scrub_queued_mrequests: when broadcasting an invalidation, delete
+            queued MREQUESTs from other caches (§3.2.5 scenario).
+        invalidation_acks: collect INV_ACKs before granting; required for
+            correctness under networks with variable latency.
+        duplicate_directory: §4.4 enhancement 1 — snoop lookups steal a
+            cache cycle only when the block is present.
+        translation_buffer_entries: §4.4 enhancement 2 — capacity of the
+            controller-side owner-identity buffer (0 disables it).
+        tbuf_forced_hit_ratio: modelling device for the paper's "90% hit
+            ratio eliminates 90% of the overhead" claim: bypass the real
+            buffer and hit with this probability (None = use the buffer).
+        bias_filter_entries: §2.3's "BIAS memory" for the classical
+            scheme — a small buffer of recently-invalidated addresses
+            that filters repeated invalidation signals for the same
+            block without stealing a cache cycle (0 disables it).
+    """
+
+    serialization: str = "block"
+    keep_present1: bool = True
+    owner_invalidates_on_read_query: bool = False
+    scrub_queued_mrequests: bool = True
+    invalidation_acks: bool = True
+    duplicate_directory: bool = False
+    translation_buffer_entries: int = 0
+    tbuf_forced_hit_ratio: Optional[float] = None
+    bias_filter_entries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.serialization not in ("block", "global"):
+            raise ValueError("serialization must be 'block' or 'global'")
+        if self.translation_buffer_entries < 0:
+            raise ValueError("translation_buffer_entries must be >= 0")
+        if self.bias_filter_entries < 0:
+            raise ValueError("bias_filter_entries must be >= 0")
+        if self.tbuf_forced_hit_ratio is not None and not (
+            0.0 <= self.tbuf_forced_hit_ratio <= 1.0
+        ):
+            raise ValueError("tbuf_forced_hit_ratio must be in [0, 1]")
+
+
+#: Protocols the builder knows how to assemble.
+PROTOCOLS = (
+    "twobit",
+    "twobit_wt",
+    "fullmap",
+    "fullmap_local",
+    "classical",
+    "static",
+    "write_once",
+    "illinois",
+)
+
+#: Interconnects the builder knows how to assemble.
+NETWORKS = ("xbar", "bus", "delta")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build one simulated multiprocessor."""
+
+    n_processors: int = 4
+    n_modules: int = 4
+    n_blocks: int = 1024
+    #: Cache geometry: paper's evaluation uses 128-block caches.
+    cache_sets: int = 32
+    cache_assoc: int = 4
+    replacement: str = "lru"
+    protocol: str = "twobit"
+    network: str = "xbar"
+    #: Switch radix of the delta network (ignored by other networks).
+    delta_radix: int = 2
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    options: ProtocolOptions = field(default_factory=ProtocolOptions)
+    seed: int = 1984
+    #: Abort the run if the oracle sees a stale read (leave on).
+    strict_coherence: bool = True
+    #: Randomize the order of same-cycle simulator events (reproducibly
+    #: per seed); None keeps strict submission order.  Used by the
+    #: property tests to explore event orderings a fixed tie-break never
+    #: produces.
+    tie_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("need at least one processor")
+        if self.n_modules < 1:
+            raise ValueError("need at least one memory module")
+        if self.n_blocks < 1:
+            raise ValueError("need at least one block")
+        if self.cache_sets < 1 or self.cache_assoc < 1:
+            raise ValueError("cache geometry must be positive")
+        if self.delta_radix < 2:
+            raise ValueError("delta_radix must be >= 2")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}"
+            )
+        if self.network not in NETWORKS:
+            raise ValueError(
+                f"unknown network {self.network!r}; choose from {NETWORKS}"
+            )
+        if self.protocol in ("write_once", "illinois") and self.network != "bus":
+            raise ValueError(
+                f"{self.protocol} is a snooping protocol and requires network='bus'"
+            )
+
+    @property
+    def cache_blocks(self) -> int:
+        return self.cache_sets * self.cache_assoc
+
+    def with_(self, **changes) -> "MachineConfig":
+        """Functional update helper (``dataclasses.replace`` wrapper)."""
+        return replace(self, **changes)

@@ -1,0 +1,31 @@
+"""The paper's contribution: the two-bit directory scheme.
+
+Public surface:
+
+* :class:`~repro.core.states.GlobalState` / ``TwoBitDirectory`` — the
+  four-state, two-bit-per-block global map of §3.1.
+* :class:`~repro.core.controller.TwoBitDirectoryController` — the memory
+  controller FSM implementing the §3.2 protocols.
+* :class:`~repro.core.translation_buffer.TranslationBuffer` — the §4.4
+  owner-identity buffer enhancement.
+
+The cache side is shared with the directory baselines and lives in
+:mod:`repro.protocols.cache_side`.
+"""
+
+from repro.core.controller import TwoBitDirectoryController
+from repro.core.spec import EVENTS, TWO_BIT_SPEC, Transition, expected, render_spec
+from repro.core.states import GlobalState, TwoBitDirectory
+from repro.core.translation_buffer import TranslationBuffer
+
+__all__ = [
+    "EVENTS",
+    "GlobalState",
+    "TWO_BIT_SPEC",
+    "Transition",
+    "expected",
+    "render_spec",
+    "TranslationBuffer",
+    "TwoBitDirectory",
+    "TwoBitDirectoryController",
+]

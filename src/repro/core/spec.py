@@ -1,0 +1,173 @@
+"""Declarative specification of the two-bit directory protocol.
+
+§3.2 specifies the controller's behaviour in prose; this module captures
+it as a transition table — (global state, request) → (commands sent,
+next global state) — which serves three purposes:
+
+* it renders the protocol specification as a table
+  (:func:`render_spec`, also reachable via ``python -m repro spec``);
+* the conformance tests (`tests/core/test_conformance.py`) drive the
+  real controller through every row and check the implementation against
+  it — the systematic version of "the protocols ... need to be ...
+  proven correct";
+* readers get the whole §3.2 state machine on one screen.
+
+The table describes the *default* design (DESIGN.md ambiguity
+resolutions); :func:`expected` adjusts rows for the paper-literal and
+no-Present1 option variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import ProtocolOptions
+from repro.core.states import GlobalState
+from repro.stats.tables import Table
+
+#: Request kinds a home controller serializes (Table 3-1's commands as
+#: classified by the four §3.2 instances).
+EVENTS = (
+    "read_miss",     # REQUEST(k, a, "read")
+    "write_miss",    # REQUEST(k, a, "write")
+    "mrequest",      # MREQUEST(k, a)
+    "eject_clean",   # EJECT(k, a, "read")
+    "eject_dirty",   # EJECT(k, a, "write") + put(b_k, a)
+)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One row of the protocol: what the controller sends and becomes."""
+
+    state: GlobalState
+    event: str
+    #: Command kinds the controller emits, in order.  "GET"/"MGRANTED+"
+    #: /"MGRANTED-" are directed at the requester; "BROADINV"/"BROADQUERY"
+    #: are broadcast; "EJECT_ACK" closes replacement notices.
+    sends: Tuple[str, ...]
+    next_state: GlobalState
+    #: Main memory is written during this transition (write-back landing).
+    memory_write: bool = False
+    note: str = ""
+
+
+def _rows_default() -> Tuple[Transition, ...]:
+    A, P1, PS, PM = (
+        GlobalState.ABSENT,
+        GlobalState.PRESENT1,
+        GlobalState.PRESENT_STAR,
+        GlobalState.PRESENTM,
+    )
+    return (
+        # §3.2.2 read miss
+        Transition(A, "read_miss", ("GET",), P1),
+        Transition(P1, "read_miss", ("GET",), PS),
+        Transition(PS, "read_miss", ("GET",), PS),
+        Transition(
+            PM, "read_miss", ("BROADQUERY", "GET"), PS, memory_write=True,
+            note="owner supplies data, keeps a clean copy (DESIGN.md #1)",
+        ),
+        # §3.2.3 write miss
+        Transition(A, "write_miss", ("GET",), PM),
+        Transition(
+            P1, "write_miss", ("BROADINV", "GET"), PM,
+            note="identities unknown: broadcast despite a single holder",
+        ),
+        Transition(PS, "write_miss", ("BROADINV", "GET"), PM),
+        Transition(
+            PM, "write_miss", ("BROADQUERY", "GET"), PM, memory_write=True,
+            note="owner supplies data and invalidates",
+        ),
+        # §3.2.4 write hit on previously unmodified block
+        Transition(
+            P1, "mrequest", ("MGRANTED+",), PM,
+            note="the payoff of encoding Present1: no broadcast",
+        ),
+        Transition(PS, "mrequest", ("BROADINV", "MGRANTED+"), PM),
+        Transition(
+            PM, "mrequest", ("MGRANTED-",), PM,
+            note="requester lost a race (§3.2.5); it reissues a write miss",
+        ),
+        Transition(A, "mrequest", ("MGRANTED-",), A, note="race leftover"),
+        # §3.2.1 replacement
+        Transition(
+            P1, "eject_clean", ("EJECT_ACK",), A,
+            note="the transition that reduces later broadcasts",
+        ),
+        Transition(
+            PS, "eject_clean", ("EJECT_ACK",), PS,
+            note="count unknown: Present* must absorb the loss",
+        ),
+        Transition(PM, "eject_clean", ("EJECT_ACK",), PM, note="stale notice"),
+        Transition(A, "eject_clean", ("EJECT_ACK",), A, note="stale notice"),
+        Transition(
+            PM, "eject_dirty", ("EJECT_ACK",), A, memory_write=True,
+        ),
+        Transition(A, "eject_dirty", ("EJECT_ACK",), A, note="stale write-back dropped"),
+        Transition(P1, "eject_dirty", ("EJECT_ACK",), P1, note="stale write-back dropped"),
+        Transition(PS, "eject_dirty", ("EJECT_ACK",), PS, note="stale write-back dropped"),
+    )
+
+
+TWO_BIT_SPEC: Tuple[Transition, ...] = _rows_default()
+
+_INDEX: Dict[Tuple[GlobalState, str], Transition] = {
+    (row.state, row.event): row for row in TWO_BIT_SPEC
+}
+
+
+def expected(
+    state: GlobalState,
+    event: str,
+    options: Optional[ProtocolOptions] = None,
+) -> Transition:
+    """The specified transition, adjusted for the option variants."""
+    if event not in EVENTS:
+        raise ValueError(f"unknown event {event!r}; choose from {EVENTS}")
+    options = options or ProtocolOptions()
+    if state is GlobalState.PRESENT1 and not options.keep_present1:
+        raise ValueError("Present1 is not reachable with keep_present1=False")
+    row = _INDEX[(state, event)]
+    next_state = row.next_state
+    if state is GlobalState.PRESENTM and event == "read_miss":
+        if options.owner_invalidates_on_read_query:
+            next_state = GlobalState.PRESENT1  # paper-literal §3.2.2
+    if next_state is GlobalState.PRESENT1 and not options.keep_present1:
+        next_state = GlobalState.PRESENT_STAR
+    if row.next_state is next_state:
+        return row
+    return Transition(
+        state=row.state,
+        event=row.event,
+        sends=row.sends,
+        next_state=next_state,
+        memory_write=row.memory_write,
+        note=row.note,
+    )
+
+
+def render_spec() -> str:
+    """The §3.2 protocol as one table."""
+    table = Table(
+        header=["state", "request", "controller sends", "next state", "mem"],
+        title="Two-bit directory protocol (§3.2), default design",
+    )
+    for row in TWO_BIT_SPEC:
+        table.add_row(
+            [
+                row.state.name,
+                row.event,
+                " -> ".join(row.sends),
+                row.next_state.name,
+                "W" if row.memory_write else "",
+            ]
+        )
+    lines = [table.render(), "", "notes:"]
+    for row in TWO_BIT_SPEC:
+        if row.note:
+            lines.append(
+                f"  {row.state.name:<12} {row.event:<11} {row.note}"
+            )
+    return "\n".join(lines)

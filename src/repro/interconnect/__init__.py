@@ -1,0 +1,17 @@
+"""Interconnection networks and the protocol message vocabulary."""
+
+from repro.interconnect.bus import Bus
+from repro.interconnect.delta import DeltaNetwork
+from repro.interconnect.message import DATA_KINDS, DATA_SIZE, Message, MessageKind
+from repro.interconnect.network import Network, PointToPointNetwork
+
+__all__ = [
+    "Bus",
+    "DATA_KINDS",
+    "DATA_SIZE",
+    "DeltaNetwork",
+    "Message",
+    "MessageKind",
+    "Network",
+    "PointToPointNetwork",
+]

@@ -1,0 +1,113 @@
+"""Multistage delta (omega-style) network.
+
+Figure 3-1 connects n processor-cache pairs to m controller-memory modules
+through a general interconnection network; a delta network built from
+``radix x radix`` switches is the canonical scalable choice.  We model two
+unidirectional planes (forward: cache side -> memory side; reverse: memory
+side -> cache side).  Each switch output port is a serial resource: a
+message holds the port for ``size`` cycles per hop, so broadcasts — which
+in a delta network are n-1 separate messages — create real contention,
+reproducing the paper's caveat that "broadcasts do increase the
+probability of conflicts in the interconnection network".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.interconnect.message import Message
+from repro.interconnect.network import Network
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+def _stages_for(ports: int, radix: int) -> int:
+    """Number of switch stages needed to reach ``ports`` endpoints."""
+    stages = 1
+    while radix**stages < ports:
+        stages += 1
+    return stages
+
+
+class DeltaNetwork(Network):
+    """Blocking multistage interconnect with per-port serialization."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "delta",
+        latency: int = 1,
+        radix: int = 2,
+    ) -> None:
+        # ``latency`` here is the per-hop propagation time.
+        super().__init__(sim, name, latency)
+        if radix < 2:
+            raise ValueError("radix must be >= 2")
+        self.radix = radix
+        self._ports: Dict[str, Tuple[str, int]] = {}  # name -> (side, port)
+        self._side_counts = {"proc": 0, "mem": 0}
+        # (plane, stage, switch, outport) -> busy-until time
+        self._port_busy: Dict[Tuple[str, int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach_port(
+        self, component: Component, side: str, broadcast_member: bool = False
+    ) -> int:
+        """Attach on ``side`` ("proc" or "mem"); returns the port number."""
+        if side not in ("proc", "mem"):
+            raise ValueError("side must be 'proc' or 'mem'")
+        super().attach(component, broadcast_member=broadcast_member)
+        port = self._side_counts[side]
+        self._side_counts[side] += 1
+        self._ports[component.name] = (side, port)
+        return port
+
+    def attach(self, component: Component, broadcast_member: bool = False) -> None:
+        raise TypeError("use attach_port(component, side=...) on a DeltaNetwork")
+
+    @property
+    def n_stages(self) -> int:
+        ports = max(self._side_counts.values(), default=1)
+        return _stages_for(max(ports, 2), self.radix)
+
+    # ------------------------------------------------------------------
+    # Routing & contention
+    # ------------------------------------------------------------------
+    def _route(self, plane: str, dst_port: int) -> List[Tuple[str, int, int, int]]:
+        """Switch output ports traversed to reach ``dst_port``.
+
+        Destination-tag routing: at stage s the message exits through the
+        s-th radix-digit of the destination port (most significant first).
+        The switch index models how many distinct switches exist per stage.
+        """
+        stages = self.n_stages
+        hops = []
+        for stage in range(stages):
+            shift = stages - stage - 1
+            digit = (dst_port // (self.radix**shift)) % self.radix
+            switch = dst_port // (self.radix ** (shift + 1))
+            hops.append((plane, stage, switch, digit))
+        return hops
+
+    def _traverse(self, plane: str, dst_port: int, size: int) -> int:
+        """Walk the route reserving each hop; return arrival time."""
+        time = self.sim.now
+        for hop in self._route(plane, dst_port):
+            free_at = self._port_busy.get(hop, 0)
+            start = max(time, free_at)
+            wait = start - time
+            if wait:
+                self.counters.add("wait_cycles", wait)
+            end = start + size * 1  # one cycle per size unit per hop
+            self._port_busy[hop] = end
+            time = end + self.latency
+            self.counters.add("hop_cycles", size)
+        return time
+
+    def _delivery_time(self, message: Message) -> int:
+        side, port = self._ports[message.dst]  # type: ignore[index]
+        plane = "fwd" if side == "mem" else "rev"
+        return self._traverse(plane, port, message.size)

@@ -1,0 +1,135 @@
+"""Protocol messages.
+
+The vocabulary follows Table 3-1 of the paper (``REQUEST``, ``MREQUEST``,
+``EJECT``, ``BROADINV``, ``BROADQUERY``, ``MGRANTED``, data transfers
+``get``/``put``) plus the selective commands of the full-map baseline
+(``PURGE``, ``INVALIDATE``) and the acknowledgements any implementable
+variant needs to terminate its transactions (``QUERY_NOCOPY``,
+``INV_ACK``, ``EJECT_ACK``).  Snooping bus protocols use the ``BUS_*``
+kinds.
+
+Control commands have size 1 (one command slot); data transfers carry a
+block and are ``DATA_SIZE`` times larger, which the networks use for
+occupancy accounting.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+#: Relative size of a block data transfer vs a control command.
+DATA_SIZE = 4
+
+
+class MessageKind(Enum):
+    """Every message type used by any protocol in the library."""
+
+    # -- cache -> home controller (Table 3-1) -------------------------
+    REQUEST = "REQUEST"          # (k, a, rw): miss service request
+    MREQUEST = "MREQUEST"        # (k, a): write hit on unmodified block
+    EJECT = "EJECT"              # (k, olda, wb): replacement notice
+    PUT = "put"                  # data transfer cache -> memory
+
+    # -- home controller -> cache(s) (Table 3-1) ----------------------
+    BROADINV = "BROADINV"        # (a, k): invalidate everywhere but k
+    BROADQUERY = "BROADQUERY"    # (a, rw): locate + purge the dirty owner
+    MGRANTED = "MGRANTED"        # (k, y/n): modification grant
+    GET = "get"                  # data transfer memory -> cache
+
+    # -- selective commands (full-map baselines) ----------------------
+    PURGE = "PURGE"              # (a, i, rw): directed write-back demand
+    INVALIDATE = "INVALIDATE"    # (a, i): directed invalidation
+
+    # -- acknowledgements (implementability additions) -----------------
+    QUERY_NOCOPY = "QUERY_NOCOPY"  # cache -> controller: no copy held
+    INV_ACK = "INV_ACK"            # cache -> controller: invalidated
+    EJECT_ACK = "EJECT_ACK"        # controller -> cache: write-back taken
+    MREQ_CANCEL = "MREQ_CANCEL"    # cache -> controller: withdraw MREQUEST
+    EJECT_REVOKE = "EJECT_REVOKE"  # cache -> controller: clean eject is stale
+
+    # -- classical write-through scheme --------------------------------
+    WT_WRITE = "WT_WRITE"        # write-through store to memory
+    WT_ACK = "WT_ACK"            # memory -> cache: store + bcast done
+    WT_FETCH = "WT_FETCH"        # read-miss fetch request
+    WT_INV = "WT_INV"            # broadcast invalidation of a stored block
+
+    # -- snooping bus transactions --------------------------------------
+    BUS_READ = "BUS_READ"        # read miss on the bus
+    BUS_RDX = "BUS_RDX"          # read-exclusive (write miss)
+    BUS_INV = "BUS_INV"          # invalidation-only (upgrade)
+    BUS_WRITE_WORD = "BUS_WRITE_WORD"  # write-once first-write write-through
+    BUS_REPLY = "BUS_REPLY"      # data supplied to the requester
+
+    # -- static (software) scheme ---------------------------------------
+    MEM_READ = "MEM_READ"        # uncached shared read
+    MEM_WRITE = "MEM_WRITE"      # uncached shared write
+    MEM_REPLY = "MEM_REPLY"      # memory response
+
+
+#: Kinds that carry a block of data (occupy DATA_SIZE network slots).
+DATA_KINDS = frozenset(
+    {
+        MessageKind.PUT,
+        MessageKind.GET,
+        MessageKind.BUS_REPLY,
+        MessageKind.MEM_REPLY,
+    }
+)
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One command or data transfer on the interconnect.
+
+    Attributes:
+        kind: message type.
+        src: name of the sending component.
+        dst: name of the receiving component; None for a broadcast.
+        block: the block address the message concerns (the paper's ``a``).
+        requester: index ``k`` of the processor-cache that initiated the
+            enclosing transaction (the BROADINV ``k`` parameter).
+        rw: "read" or "write" where the kind is parameterized (REQUEST,
+            BROADQUERY, EJECT's ``wb`` rides here too).
+        version: data payload for PUT/GET-like transfers.
+        flag: boolean payload (MGRANTED yes/no, EJECT dirtiness).
+        meta: free-form extras for protocol-specific needs.
+    """
+
+    kind: MessageKind
+    src: str
+    dst: Optional[str]
+    block: int
+    requester: Optional[int] = None
+    rw: Optional[str] = None
+    version: Optional[int] = None
+    flag: Optional[bool] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_msg_ids))
+
+    @property
+    def size(self) -> int:
+        """Network occupancy units (commands 1, data DATA_SIZE)."""
+        return DATA_SIZE if self.kind in DATA_KINDS else 1
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind in DATA_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        dst = self.dst if self.dst is not None else "*"
+        extras = []
+        if self.rw is not None:
+            extras.append(self.rw)
+        if self.requester is not None:
+            extras.append(f"k={self.requester}")
+        if self.version is not None:
+            extras.append(f"v{self.version}")
+        if self.flag is not None:
+            extras.append(str(self.flag))
+        inner = ",".join(extras)
+        return f"<{self.kind.value} {self.src}->{dst} a={self.block} {inner}>"

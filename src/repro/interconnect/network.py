@@ -1,0 +1,135 @@
+"""Interconnection network base class.
+
+A network connects named components (caches, memory controllers).  Sending
+is asynchronous: :meth:`Network.send` computes a delivery time from the
+topology/contention model and schedules ``component.deliver(message)``.
+
+Broadcast semantics follow the paper: a broadcast reaches every *cache*
+except an excluded set (the requester); memory controllers never receive
+broadcasts.  Networks track traffic counters used by the benchmarks:
+
+* ``commands`` / ``data_transfers``: messages by class,
+* ``traffic_units``: occupancy-weighted traffic (data counts DATA_SIZE),
+* ``broadcasts`` and ``broadcast_deliveries``,
+* ``wait_cycles``: cycles messages spent queued for a busy resource.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.interconnect.message import Message
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class Network(Component):
+    """Base interconnect: endpoint registry + broadcast fan-out."""
+
+    def __init__(self, sim: Simulator, name: str = "net", latency: int = 4) -> None:
+        super().__init__(sim, name)
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.latency = latency
+        self._endpoints: Dict[str, Component] = {}
+        self._broadcast_group: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(self, component: Component, broadcast_member: bool = False) -> None:
+        """Register ``component``; broadcast members receive broadcasts."""
+        if component.name in self._endpoints:
+            raise ValueError(f"duplicate endpoint name {component.name!r}")
+        self._endpoints[component.name] = component
+        if broadcast_member:
+            self._broadcast_group.append(component.name)
+
+    def endpoint(self, name: str) -> Component:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(f"no endpoint named {name!r} on {self.name}") from None
+
+    @property
+    def endpoints(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    @property
+    def broadcast_group(self) -> List[str]:
+        return list(self._broadcast_group)
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Transmit a point-to-point message."""
+        if message.dst is None:
+            raise ValueError("point-to-point send requires a destination")
+        target = self.endpoint(message.dst)
+        self._account(message)
+        delivery = self._delivery_time(message)
+        self.sim.at(delivery, target.deliver, message)
+
+    def broadcast(
+        self, message: Message, exclude: Optional[Iterable[str]] = None
+    ) -> int:
+        """Deliver copies of ``message`` to the broadcast group.
+
+        Returns the number of recipients.  ``message.dst`` is rewritten per
+        recipient so handlers see who the copy was addressed to.
+        """
+        excluded: Set[str] = set(exclude or ())
+        excluded.add(message.src)
+        recipients = [n for n in self._broadcast_group if n not in excluded]
+        self.counters.add("broadcasts")
+        self.counters.add("broadcast_deliveries", len(recipients))
+        for name in self._broadcast_times(message, recipients):
+            copy = Message(
+                kind=message.kind,
+                src=message.src,
+                dst=name,
+                block=message.block,
+                requester=message.requester,
+                rw=message.rw,
+                version=message.version,
+                flag=message.flag,
+                meta=dict(message.meta),
+            )
+            self._account(copy)
+            delivery = self._delivery_time(copy)
+            self.sim.at(delivery, self.endpoint(name).deliver, copy)
+        return len(recipients)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def _delivery_time(self, message: Message) -> int:
+        """Absolute cycle at which ``message`` reaches its destination."""
+        return self.sim.now + self.latency
+
+    def _broadcast_times(
+        self, message: Message, recipients: List[str]
+    ) -> List[str]:
+        """Hook letting subclasses reorder/meter broadcast recipients."""
+        return recipients
+
+    def _account(self, message: Message) -> None:
+        if message.is_data:
+            self.counters.add("data_transfers")
+        else:
+            self.counters.add("commands")
+        self.counters.add("traffic_units", message.size)
+
+
+class PointToPointNetwork(Network):
+    """Idealised crossbar: fixed latency, infinite bandwidth.
+
+    The paper's analysis assumes command timing is independent of the
+    network; this model realizes that assumption and is the default for
+    the directory protocols.  Broadcasts cost one message per recipient
+    (no hardware broadcast), as in a general interconnection network.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "xbar", latency: int = 4) -> None:
+        super().__init__(sim, name, latency)

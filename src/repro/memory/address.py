@@ -1,0 +1,73 @@
+"""Block addressing and block-to-module mapping.
+
+The simulator works at block granularity: an address *is* a block number
+(an int).  Displacements within a block (the paper's ``d``) do not affect
+coherence and are not modelled.  The :class:`AddressMap` decides which
+memory module (and hence which directory controller) is *home* for a block,
+mirroring the paper's "each controller is responsible only for the blocks
+pertaining to its module".
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Interleaving(Enum):
+    """How blocks are spread over memory modules."""
+
+    #: Block ``a`` lives in module ``a % n_modules`` (fine interleaving).
+    LOW_ORDER = "low-order"
+    #: Contiguous ranges of blocks per module (bank partitioning).
+    BLOCKED = "blocked"
+
+
+class AddressMap:
+    """Maps block numbers to home memory modules.
+
+    >>> amap = AddressMap(n_modules=4, n_blocks=64)
+    >>> amap.home(5)
+    1
+    >>> AddressMap(4, 64, Interleaving.BLOCKED).home(17)
+    1
+    """
+
+    def __init__(
+        self,
+        n_modules: int,
+        n_blocks: int,
+        interleaving: Interleaving = Interleaving.LOW_ORDER,
+    ) -> None:
+        if n_modules < 1:
+            raise ValueError("need at least one memory module")
+        if n_blocks < 1:
+            raise ValueError("need at least one block")
+        self.n_modules = n_modules
+        self.n_blocks = n_blocks
+        self.interleaving = interleaving
+        self._blocks_per_module = -(-n_blocks // n_modules)  # ceil division
+
+    def check(self, block: int) -> None:
+        """Raise if ``block`` is outside the address space."""
+        if not 0 <= block < self.n_blocks:
+            raise ValueError(
+                f"block {block} outside address space [0, {self.n_blocks})"
+            )
+
+    def home(self, block: int) -> int:
+        """Index of the module (and controller) owning ``block``."""
+        self.check(block)
+        if self.interleaving is Interleaving.LOW_ORDER:
+            return block % self.n_modules
+        return min(block // self._blocks_per_module, self.n_modules - 1)
+
+    def blocks_of(self, module: int) -> range:
+        """Iterable of the blocks homed at ``module`` (BLOCKED) or a
+        stride range (LOW_ORDER)."""
+        if not 0 <= module < self.n_modules:
+            raise ValueError(f"module {module} out of range")
+        if self.interleaving is Interleaving.LOW_ORDER:
+            return range(module, self.n_blocks, self.n_modules)
+        start = module * self._blocks_per_module
+        stop = min(start + self._blocks_per_module, self.n_blocks)
+        return range(start, stop)

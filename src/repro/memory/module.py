@@ -1,0 +1,60 @@
+"""Memory module storage.
+
+Instead of byte payloads, each block stores a monotonically increasing
+*version* number stamped by the coherence oracle on every write.  Version
+flow is exactly what coherence is about — "a read access to any block
+always returns the most recently written value of that block" — and it
+makes the checker cheap: a stale copy is a copy with an old version.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class MemoryModule(Component):
+    """One main-memory module, holding the versions of its home blocks.
+
+    Timing (the ``access_time`` cycles) is applied by the controller that
+    fronts the module, not here; the module itself is pure state.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        blocks: Iterable[int],
+        access_time: int = 10,
+    ) -> None:
+        super().__init__(sim, name=f"mem{index}")
+        self.index = index
+        self.access_time = access_time
+        self._versions: Dict[int, int] = {block: 0 for block in blocks}
+
+    def owns(self, block: int) -> bool:
+        """True when ``block`` is homed at this module."""
+        return block in self._versions
+
+    def read(self, block: int) -> int:
+        """Return the stored version of ``block``."""
+        self._check(block)
+        self.counters.add("reads")
+        return self._versions[block]
+
+    def write(self, block: int, version: int) -> None:
+        """Store ``version`` for ``block`` (a write-back landing)."""
+        self._check(block)
+        self.counters.add("writes")
+        self._versions[block] = version
+
+    def peek(self, block: int) -> int:
+        """Read without counting (used by audits and tests)."""
+        self._check(block)
+        return self._versions[block]
+
+    def _check(self, block: int) -> None:
+        if block not in self._versions:
+            raise KeyError(f"{self.name} does not own block {block}")

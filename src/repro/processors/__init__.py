@@ -1,0 +1,5 @@
+"""Processor models."""
+
+from repro.processors.processor import Processor
+
+__all__ = ["Processor"]

@@ -1,0 +1,106 @@
+"""In-order processor model.
+
+A processor pulls references from its workload stream and blocks on each
+one until the cache completes it (the paper's processors stall on misses;
+hits complete in a cache cycle).  Reference budgets support warm-up /
+measurement windows: the harness raises the budget and calls
+:meth:`resume` to continue a drained processor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.protocols.base import AbstractCacheController, AccessResult
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.stats.histogram import Histogram
+from repro.workloads.reference import MemRef
+
+
+class Processor(Component):
+    """Drives one cache with one reference stream."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        cache: AbstractCacheController,
+        stream: Iterator[MemRef],
+        budget: int = 0,
+        on_drained: Optional[Callable[["Processor"], None]] = None,
+        think_time: int = 0,
+    ) -> None:
+        super().__init__(sim, name=f"P{pid}")
+        self.pid = pid
+        self.cache = cache
+        self.stream = stream
+        self.budget = budget
+        self.on_drained = on_drained
+        self.think_time = think_time
+        self.issued = 0
+        self.completed = 0
+        self.latency_histogram = Histogram(name=f"P{pid} latency")
+        self.exhausted = False  # stream ran out
+        self._waiting = False  # an access is outstanding
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin issuing references (idempotent)."""
+        if self._running or self._waiting:
+            return
+        self._running = True
+        self.sim.schedule(0, self._issue_next)
+
+    def resume(self) -> None:
+        """Continue after the budget was raised."""
+        self.start()
+
+    @property
+    def drained(self) -> bool:
+        """True when the processor has stopped issuing."""
+        return not self._running and not self._waiting
+
+    # ------------------------------------------------------------------
+    # Issue loop
+    # ------------------------------------------------------------------
+    def _issue_next(self) -> None:
+        if self.completed >= self.budget:
+            self._stop()
+            return
+        try:
+            ref = next(self.stream)
+        except StopIteration:
+            self.exhausted = True
+            self._stop()
+            return
+        self.issued += 1
+        self._waiting = True
+        self.cache.access(ref, self._completed)
+
+    def _completed(self, result: AccessResult) -> None:
+        self._waiting = False
+        self.completed += 1
+        self.counters.add("refs")
+        self.counters.add("latency_cycles", result.latency)
+        self.latency_histogram.add(result.latency)
+        if result.hit:
+            self.counters.add("hits")
+        if result.ref.is_write:
+            self.counters.add("writes")
+        if result.ref.shared:
+            self.counters.add("shared_refs")
+            if result.ref.is_write:
+                self.counters.add("shared_writes")
+            if result.hit:
+                self.counters.add("shared_hits")
+        if self._running:
+            self.sim.schedule(self.think_time, self._issue_next)
+
+    def _stop(self) -> None:
+        self._running = False
+        if self.on_drained is not None:
+            self.on_drained(self)

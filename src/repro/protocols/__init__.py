@@ -1,0 +1,68 @@
+"""Coherence protocols: the shared cache side and every baseline scheme.
+
+The paper's own contribution (the two-bit directory controller) lives in
+:mod:`repro.core`; this package holds the machinery it shares with the
+baselines and the baselines themselves:
+
+* ``fullmap`` — Censier-Feautrier n+1-bit presence vectors (§2.4.2),
+* ``fullmap_local`` — Yen-Fu exclusive-clean extension (§2.4.3),
+* ``classical`` — write-through + invalidate-all (§2.3),
+* ``static`` — software-tagged uncacheable shared data (§2.2),
+* ``write_once`` — Goodman's bus scheme (§2.5),
+* ``illinois`` — Papamarcos-Patel MESI (§2.5).
+"""
+
+from repro.protocols.base import (
+    AbstractCacheController,
+    AbstractMemoryController,
+    AccessResult,
+)
+from repro.protocols.cache_side import DirectoryCacheController, PendingOp
+from repro.protocols.classical import (
+    ClassicalCacheController,
+    ClassicalMemoryController,
+)
+from repro.protocols.engine import TransactionEngine
+from repro.protocols.fullmap import (
+    FullMapDirectory,
+    FullMapDirectoryController,
+    FullMapEntry,
+)
+from repro.protocols.fullmap_local import (
+    LocalStateCacheController,
+    LocalStateFullMapController,
+)
+from repro.protocols.illinois import IllinoisBusManager, IllinoisCacheController
+from repro.protocols.snoop import SnoopBusManager, SnoopCacheController, SnoopReply
+from repro.protocols.static import StaticCacheController, StaticMemoryController
+from repro.protocols.write_once import WriteOnceCacheController
+from repro.protocols.wt_filter import (
+    WTFilterCacheController,
+    WTFilterMemoryController,
+)
+
+__all__ = [
+    "AbstractCacheController",
+    "AbstractMemoryController",
+    "AccessResult",
+    "ClassicalCacheController",
+    "ClassicalMemoryController",
+    "DirectoryCacheController",
+    "FullMapDirectory",
+    "FullMapDirectoryController",
+    "FullMapEntry",
+    "IllinoisBusManager",
+    "IllinoisCacheController",
+    "LocalStateCacheController",
+    "LocalStateFullMapController",
+    "PendingOp",
+    "SnoopBusManager",
+    "SnoopCacheController",
+    "SnoopReply",
+    "StaticCacheController",
+    "StaticMemoryController",
+    "TransactionEngine",
+    "WTFilterCacheController",
+    "WTFilterMemoryController",
+    "WriteOnceCacheController",
+]

@@ -1,0 +1,104 @@
+"""Shared protocol interfaces.
+
+Every protocol family exposes the same processor-facing interface — a
+cache controller with :meth:`AbstractCacheController.access` — so the
+system harness and the benchmarks are protocol-agnostic.  Results flow
+back through :class:`AccessResult` callbacks.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+from repro.config import MachineConfig
+from repro.workloads.reference import MemRef
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one processor memory reference."""
+
+    ref: MemRef
+    hit: bool
+    issue_time: int
+    complete_time: int
+    #: Version returned (reads) or committed (writes).
+    version: int
+
+    @property
+    def latency(self) -> int:
+        return self.complete_time - self.issue_time
+
+
+AccessCallback = Callable[[AccessResult], None]
+
+
+class AbstractCacheController(Component):
+    """Processor-facing cache controller.
+
+    One outstanding processor reference at a time (the paper's processors
+    block on misses).  Subclasses implement the protocol; this base holds
+    the array-occupancy model that realizes "stolen cycles": the cache
+    array is a serial resource shared by processor references and
+    coherence commands arriving from the network.
+    """
+
+    def __init__(self, sim: Simulator, pid: int, config: MachineConfig) -> None:
+        super().__init__(sim, name=f"cache{pid}")
+        self.pid = pid
+        self.config = config
+        self._array_free_at = 0
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def access(self, ref: MemRef, callback: AccessCallback) -> None:
+        """Service ``ref``; invoke ``callback`` when it completes."""
+
+    # ------------------------------------------------------------------
+    # Array occupancy
+    # ------------------------------------------------------------------
+    def _use_array(self, stolen: bool) -> int:
+        """Reserve one cache cycle on the array; return completion time.
+
+        ``stolen`` marks uses by network commands rather than the local
+        processor; the wait a processor reference suffers behind stolen
+        cycles is recorded as ``processor_wait_cycles``.
+        """
+        cycle = self.config.timing.cache_cycle
+        start = max(self.sim.now, self._array_free_at)
+        if not stolen:
+            wait = start - self.sim.now
+            if wait:
+                self.counters.add("processor_wait_cycles", wait)
+        else:
+            self.counters.add("stolen_cycles", cycle)
+        self._array_free_at = start + cycle
+        return self._array_free_at
+
+
+class AbstractMemoryController(Component):
+    """Home-side controller fronting one memory module."""
+
+    def __init__(self, sim: Simulator, index: int, config: MachineConfig) -> None:
+        super().__init__(sim, name=f"ctrl{index}")
+        self.index = index
+        self.config = config
+        self._mem_free_at = 0
+
+    def _use_memory(self) -> int:
+        """Reserve one memory access slot; return completion time."""
+        access = self.config.timing.mem_access
+        start = max(self.sim.now, self._mem_free_at)
+        self._mem_free_at = start + access
+        self.counters.add("memory_busy_cycles", access)
+        return self._mem_free_at
+
+    @abstractmethod
+    def quiescent(self) -> bool:
+        """True when no transaction is active or queued here."""

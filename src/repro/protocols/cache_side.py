@@ -1,0 +1,577 @@
+"""Cache-side controller for the directory protocols.
+
+This one class implements the processor-cache ``P_k - C_k`` behaviour of
+§3.2 and is shared by the two-bit scheme and the full-map baselines: the
+only difference a cache sees between them is whether coherence commands
+arrive as broadcasts (``BROADINV``/``BROADQUERY``) or selectively
+(``INVALIDATE``/``PURGE``), and the handling is identical.
+
+Responsibilities:
+
+* classify LOAD/STORE into the four §3.2 instances (replacement, read
+  miss, write miss, write hit on unmodified block) and run the protocols;
+* answer coherence commands, stealing array cycles (§4.4's duplicate
+  directory, when enabled, filters absent-block commands for free);
+* survive the §3.2.5 races: a ``BROADINV`` received while an ``MREQUEST``
+  is pending acts as ``MGRANTED(false)`` and the store is reissued as a
+  write miss;
+* keep ejected dirty blocks in a write-back buffer until the home
+  controller consumes them, so a ``BROADQUERY`` racing an ``EJECT`` can
+  still be answered with data (DESIGN.md ambiguity #2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cache.array import CacheArray
+from repro.cache.line import CacheLine, LocalState
+from repro.cache.replacement import make_policy
+from repro.cache.wbbuffer import WriteBackBuffer
+from repro.interconnect.message import Message, MessageKind
+from repro.interconnect.network import Network
+from repro.protocols.base import (
+    AbstractCacheController,
+    AccessCallback,
+    AccessResult,
+)
+from repro.sim.kernel import Simulator
+from repro.config import MachineConfig
+from repro.verification.oracle import CoherenceOracle
+from repro.workloads.reference import MemRef
+
+_op_uids = itertools.count(1)
+
+
+@dataclass
+class PendingOp:
+    """The single outstanding processor reference being serviced."""
+
+    ref: MemRef
+    callback: AccessCallback
+    issue_time: int
+    #: "mreq" while waiting for MGRANTED; "miss" while waiting for GET.
+    phase: str
+    uid: int
+    #: GET arrived; the fill is scheduled on the array (transient state).
+    data_received: bool = False
+    #: An invalidation crossed the in-flight fill: the arriving data must
+    #: not be installed (the read may still complete with it uncached).
+    stale: bool = False
+    #: Queries that arrived between our GET and the fill completing; they
+    #: target the copy we are about to install and are answered after it.
+    deferred: List[Message] = field(default_factory=list)
+
+
+class DirectoryCacheController(AbstractCacheController):
+    """Write-back cache controller speaking the directory protocols."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        config: MachineConfig,
+        net: Network,
+        home_fn: Callable[[int], str],
+        oracle: CoherenceOracle,
+    ) -> None:
+        super().__init__(sim, pid, config)
+        self.net = net
+        self.home_fn = home_fn
+        self.oracle = oracle
+        self.array = CacheArray(
+            n_sets=config.cache_sets,
+            associativity=config.cache_assoc,
+            policy=make_policy(config.replacement, seed=config.seed + pid),
+        )
+        self.wb_buffer = WriteBackBuffer()
+        self.pending: Optional[PendingOp] = None
+        self._op_in_progress = False
+        #: Clean ejects awaiting EJECT_ACK, block -> eject uid.  Needed to
+        #: revoke an eject notice made stale by a crossing invalidation
+        #: (DESIGN.md ambiguity #7).
+        self._inflight_clean_ejects: dict = {}
+
+    # ==================================================================
+    # Processor interface
+    # ==================================================================
+    def access(self, ref: MemRef, callback: AccessCallback) -> None:
+        if self.pending is not None or self._op_in_progress:
+            raise RuntimeError(f"{self.name} already has an outstanding reference")
+        if ref.pid != self.pid:
+            raise ValueError(f"{self.name} got a reference for P{ref.pid}")
+        self._op_in_progress = True
+        issue_time = self.sim.now
+        self.counters.add("refs")
+        self.counters.add("writes" if ref.is_write else "reads")
+        done = self._use_array(stolen=False)
+        self.sim.at(done, self._classify, ref, callback, issue_time)
+
+    def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
+        line = self.array.lookup(ref.block)
+        if line is not None:
+            self.array.touch(line)
+            if not ref.is_write:
+                self.counters.add("read_hits")
+                self._finish_read(ref, callback, issue_time, line.version, hit=True)
+                return
+            if line.modified:
+                self.counters.add("write_hits")
+                self._perform_write(line, ref, callback, issue_time, hit=True)
+                return
+            # §3.2.4: write hit on previously unmodified block.
+            self.counters.add("write_hits_unmodified")
+            self._write_hit_unmodified(line, ref, callback, issue_time)
+            return
+        # Miss: replacement (§3.2.1) then REQUEST (§3.2.2 / §3.2.3).
+        self.counters.add("write_misses" if ref.is_write else "read_misses")
+        self._evict_victim(ref.block)
+        self.pending = PendingOp(
+            ref=ref,
+            callback=callback,
+            issue_time=issue_time,
+            phase="miss",
+            uid=next(_op_uids),
+        )
+        self._send(
+            MessageKind.REQUEST,
+            dst=self.home_fn(ref.block),
+            block=ref.block,
+            rw="write" if ref.is_write else "read",
+            meta={"txn": self.pending.uid},
+        )
+
+    def _write_hit_unmodified(
+        self,
+        line: CacheLine,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+    ) -> None:
+        """Ask the home controller for modification rights (MREQUEST).
+
+        The local-state protocol variant overrides this to upgrade
+        silently when the line is exclusive-clean.
+        """
+        self.pending = PendingOp(
+            ref=ref,
+            callback=callback,
+            issue_time=issue_time,
+            phase="mreq",
+            uid=next(_op_uids),
+        )
+        self._send(
+            MessageKind.MREQUEST,
+            dst=self.home_fn(ref.block),
+            block=ref.block,
+            meta={"txn": self.pending.uid},
+        )
+
+    def _evict_victim(self, incoming_block: int) -> None:
+        """§3.2.1 replacement protocol for the frame ``incoming_block``
+        will occupy."""
+        frame = self.array.frame_for(incoming_block)
+        if not frame.valid:
+            return  # case 1: valid bit off, nothing to do
+        victim = frame.block
+        assert victim is not None
+        home = self.home_fn(victim)
+        if frame.modified:
+            # case 3: EJECT(k, olda, "write") followed by put(b_k, olda).
+            self.counters.add("ejects_dirty")
+            self.wb_buffer.insert(victim, frame.version)
+            self._send(
+                MessageKind.EJECT, dst=home, block=victim, rw="write"
+            )
+            self._send(
+                MessageKind.PUT,
+                dst=home,
+                block=victim,
+                version=frame.version,
+                meta={"for": "eject"},
+            )
+        else:
+            # case 2: EJECT(k, olda, "read"); keeping Present1 accurate.
+            self.counters.add("ejects_clean")
+            uid = next(_op_uids)
+            self._inflight_clean_ejects[victim] = uid
+            self._send(
+                MessageKind.EJECT,
+                dst=home,
+                block=victim,
+                rw="read",
+                meta={"ej": uid},
+            )
+        frame.reset()
+
+    # ==================================================================
+    # Completion paths
+    # ==================================================================
+    def _finish_read(
+        self,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+        version: int,
+        hit: bool,
+    ) -> None:
+        self.oracle.check_read(ref.block, version, issue_time, self.pid)
+        self._complete(ref, callback, issue_time, hit, version)
+
+    def _perform_write(
+        self,
+        line: CacheLine,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+        hit: bool,
+    ) -> None:
+        """Linearization point of a store: the line takes a new version."""
+        version = self.oracle.new_version()
+        line.version = version
+        line.modified = True
+        self.oracle.commit_write(ref.block, version, self.sim.now, self.pid)
+        self._complete(ref, callback, issue_time, hit, version)
+
+    def _complete(
+        self,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+        hit: bool,
+        version: int,
+    ) -> None:
+        self._op_in_progress = False
+        self.counters.add("latency_cycles", self.sim.now - issue_time)
+        callback(
+            AccessResult(
+                ref=ref,
+                hit=hit,
+                issue_time=issue_time,
+                complete_time=self.sim.now,
+                version=version,
+            )
+        )
+
+    # ==================================================================
+    # Network interface
+    # ==================================================================
+    def deliver(self, message: Message) -> None:
+        kind = message.kind
+        if kind is MessageKind.GET:
+            self._on_get(message)
+        elif kind is MessageKind.MGRANTED:
+            self._on_mgranted(message)
+        elif kind in (MessageKind.BROADINV, MessageKind.INVALIDATE):
+            self._on_invalidate(message)
+        elif kind in (MessageKind.BROADQUERY, MessageKind.PURGE):
+            self._on_query(message)
+        elif kind is MessageKind.EJECT_ACK:
+            if "ej" in message.meta:
+                uid = self._inflight_clean_ejects.get(message.block)
+                if uid == message.meta["ej"]:
+                    del self._inflight_clean_ejects[message.block]
+            else:
+                self.wb_buffer.release(message.block)
+        else:
+            raise ValueError(f"{self.name} cannot handle {message!r}")
+
+    # ------------------------------------------------------------------
+    # Miss data arrival
+    # ------------------------------------------------------------------
+    def _on_get(self, message: Message) -> None:
+        pending = self.pending
+        if (
+            pending is None
+            or pending.phase != "miss"
+            or pending.ref.block != message.block
+        ):
+            raise RuntimeError(
+                f"{self.name}: unexpected data arrival {message!r}"
+            )
+        pending.data_received = True
+        done = self._use_array(stolen=False)
+        self.sim.at(done, self._fill_and_complete, message, pending)
+
+    def _fill_and_complete(self, message: Message, pending: PendingOp) -> None:
+        self.pending = None
+        assert message.version is not None
+        if pending.stale:
+            # An invalidation crossed the fill: the data was current when
+            # our transaction was serialized, so a read may still consume
+            # it, but it must not be cached.
+            if pending.ref.is_write:
+                raise RuntimeError(
+                    f"{self.name}: write-miss fill invalidated in flight "
+                    "(must be impossible under per-block serialization)"
+                )
+            self.counters.add("stale_fills_uncached")
+            self._finish_read(
+                pending.ref,
+                pending.callback,
+                pending.issue_time,
+                message.version,
+                hit=False,
+            )
+            self._replay_deferred(pending)
+            return
+        line = self.array.fill(
+            pending.ref.block, version=message.version, modified=False
+        )
+        if message.meta.get("exclusive"):
+            line.local = LocalState.EXCLUSIVE
+        if pending.ref.is_write:
+            self._perform_write(
+                line, pending.ref, pending.callback, pending.issue_time, hit=False
+            )
+        else:
+            self._finish_read(
+                pending.ref,
+                pending.callback,
+                pending.issue_time,
+                message.version,
+                hit=False,
+            )
+        self._replay_deferred(pending)
+
+    def _replay_deferred(self, pending: PendingOp) -> None:
+        """Answer queries that arrived while the fill was in flight."""
+        for message in pending.deferred:
+            self.counters.add("deferred_queries_replayed")
+            self._on_query(message)
+
+    # ------------------------------------------------------------------
+    # Modification grants
+    # ------------------------------------------------------------------
+    def _on_mgranted(self, message: Message) -> None:
+        pending = self.pending
+        if (
+            pending is None
+            or pending.phase != "mreq"
+            or pending.ref.block != message.block
+            or message.meta.get("txn") != pending.uid
+        ):
+            # Stale grant for an MREQUEST we already converted (§3.2.5).
+            self.counters.add("stale_mgranted")
+            return
+        if message.flag:
+            line = self.array.lookup(message.block)
+            if line is None:
+                raise RuntimeError(
+                    f"{self.name}: MGRANTED(true) for a block we lost"
+                )
+            self.pending = None
+            self._perform_write(
+                line, pending.ref, pending.callback, pending.issue_time, hit=True
+            )
+            return
+        # MGRANTED(false): our copy is stale; reissue as a write miss.
+        self.counters.add("mgranted_denied")
+        self._convert_mreq_to_write_miss(invalidate_line=True)
+
+    def _convert_mreq_to_write_miss(self, invalidate_line: bool) -> None:
+        pending = self.pending
+        assert pending is not None and pending.phase == "mreq"
+        if invalidate_line:
+            line = self.array.lookup(pending.ref.block)
+            if line is not None:
+                line.reset()
+        self.counters.add("mreq_converted_to_miss")
+        if not invalidate_line:
+            # Conversion triggered by a BROADINV: our MREQUEST may still
+            # be queued at the controller, and granting it later — when we
+            # no longer hold a copy — would install a phantom owner.  The
+            # cancel is sent *before* our INV_ACK, so per-path FIFO
+            # guarantees it reaches the controller before the
+            # invalidation round (which waits on that ack) can complete.
+            self._send(
+                MessageKind.MREQ_CANCEL,
+                dst=self.home_fn(pending.ref.block),
+                block=pending.ref.block,
+                meta={"txn": pending.uid},
+            )
+        pending.phase = "miss"
+        pending.uid = next(_op_uids)
+        self._send(
+            MessageKind.REQUEST,
+            dst=self.home_fn(pending.ref.block),
+            block=pending.ref.block,
+            rw="write",
+            meta={"txn": pending.uid},
+        )
+
+    # ------------------------------------------------------------------
+    # Invalidations
+    # ------------------------------------------------------------------
+    def _on_invalidate(self, message: Message) -> None:
+        if message.requester == self.pid:
+            # The k parameter of BROADINV(a,k): never invalidate the
+            # requester's own copy (§3.2.4 case 2).
+            return
+        line = self.array.lookup(message.block)
+        present = line is not None
+        self._snoop_cost(message, useful=present)
+        if line is not None:
+            line.reset()
+            self.counters.add("invalidations_applied")
+        elif message.block in self._inflight_clean_ejects:
+            # Our clean EJECT for this block is in flight and the block is
+            # being invalidated: the notice is stale and, processed later,
+            # would wrongly collapse Present1 to Absent for the *new*
+            # holder.  Revoke it — sent before our INV_ACK, so per-path
+            # FIFO gets it there before this invalidation round completes.
+            self.counters.add("clean_ejects_revoked")
+            self._send(
+                MessageKind.EJECT_REVOKE,
+                dst=self.home_fn(message.block),
+                block=message.block,
+                meta={"ej": self._inflight_clean_ejects[message.block]},
+            )
+        pending = self.pending
+        if (
+            pending is not None
+            and pending.phase == "mreq"
+            and pending.ref.block == message.block
+        ):
+            # §3.2.5: treat the BROADINV as MGRANTED(false).
+            self._convert_mreq_to_write_miss(invalidate_line=False)
+        elif (
+            pending is not None
+            and pending.phase == "miss"
+            and pending.ref.block == message.block
+            and pending.data_received
+        ):
+            # The invalidation targets the copy our in-flight fill is
+            # about to install (our transaction was serialized first, so
+            # the GET is already here): poison the fill.
+            pending.stale = True
+            self.counters.add("fills_invalidated_in_flight")
+        if self.config.options.invalidation_acks:
+            self._send(
+                MessageKind.INV_ACK,
+                dst=message.src,
+                block=message.block,
+                meta={"had_copy": present},
+            )
+
+    # ------------------------------------------------------------------
+    # Queries (locate + purge the modified owner)
+    # ------------------------------------------------------------------
+    def _on_query(self, message: Message) -> None:
+        block = message.block
+        pending = self.pending
+        if (
+            pending is not None
+            and pending.phase == "miss"
+            and pending.ref.block == block
+            and pending.data_received
+            and not pending.stale
+        ):
+            # We are the logical owner but the data is still being
+            # installed: answer once the fill completes.
+            pending.deferred.append(message)
+            self.counters.add("queries_deferred")
+            return
+        line = self.array.lookup(block)
+        wb_entry = self.wb_buffer.get(block)
+        rw = message.rw or "read"
+        if line is not None and line.modified:
+            self._snoop_cost(message, useful=True)
+            version = line.version
+            if rw == "read":
+                if self.config.options.owner_invalidates_on_read_query:
+                    line.reset()  # paper-literal §3.2.2: state becomes Present1
+                else:
+                    line.modified = False  # keep a clean copy (Present*)
+            else:
+                line.reset()  # §3.2.3 case 3: reset the valid bit
+            self.counters.add("query_data_supplied")
+            self._send(
+                MessageKind.PUT,
+                dst=message.src,
+                block=block,
+                version=version,
+                meta={"for": "query", "from_wb": False},
+            )
+            return
+        if wb_entry is not None and not wb_entry.superseded:
+            # Eject in flight: answer from the write-back buffer.
+            self._snoop_cost(message, useful=True)
+            self.wb_buffer.supersede(block)
+            self.counters.add("query_answered_from_wb_buffer")
+            self._send(
+                MessageKind.PUT,
+                dst=message.src,
+                block=block,
+                version=wb_entry.version,
+                meta={"for": "query", "from_wb": True},
+            )
+            return
+        if line is not None:
+            # Clean copy queried: normal for the local-state protocol
+            # (exclusive-clean PURGE), anomalous for the others.
+            self._snoop_cost(message, useful=True)
+            self.counters.add("query_found_clean_copy")
+            if rw == "write" or self.config.options.owner_invalidates_on_read_query:
+                # In the paper-literal mode the directory records only the
+                # requester after a read query, so the queried copy must go.
+                line.reset()
+            else:
+                line.local = LocalState.NONE
+            self._send(
+                MessageKind.QUERY_NOCOPY,
+                dst=message.src,
+                block=block,
+                meta={"had_clean": True},
+            )
+            return
+        # No copy at all: the broadcast reached an uninvolved cache.
+        self._snoop_cost(message, useful=False)
+        if message.kind is MessageKind.PURGE:
+            # Selective protocols expect an answer from the addressee.
+            self._send(
+                MessageKind.QUERY_NOCOPY,
+                dst=message.src,
+                block=block,
+                meta={"had_clean": False},
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _snoop_cost(self, message: Message, useful: bool) -> None:
+        """Array occupancy + the paper's extra-command metric."""
+        broadcast = message.kind in (MessageKind.BROADINV, MessageKind.BROADQUERY)
+        self.counters.add("snoop_commands")
+        if useful:
+            self.counters.add("snoop_useful")
+        else:
+            self.counters.add("snoop_useless")
+            if broadcast:
+                self.counters.add("broadcast_useless")
+        if useful or not self.config.options.duplicate_directory:
+            self._use_array(stolen=True)
+        else:
+            self.counters.add("snoops_filtered_by_dup_directory")
+
+    def _send(self, kind: MessageKind, dst: str, block: int, **fields) -> None:
+        fields.setdefault("requester", self.pid)
+        self.net.send(
+            Message(kind=kind, src=self.name, dst=dst, block=block, **fields)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection for audits
+    # ------------------------------------------------------------------
+    def holds(self, block: int) -> Optional[CacheLine]:
+        return self.array.lookup(block)
+
+    def quiescent(self) -> bool:
+        """No outstanding reference and no in-flight eject bookkeeping."""
+        return (
+            self.pending is None
+            and len(self.wb_buffer) == 0
+            and not self._inflight_clean_ejects
+        )

@@ -1,0 +1,150 @@
+"""Controller transaction serialization engine.
+
+§3.2.5 sketches two controller designs: (1) treat only one command at a
+time, and (2) treat commands *for a given block* one at a time, allowing
+multiprogramming across blocks.  :class:`TransactionEngine` implements
+both behind one interface; directory controllers submit initiating
+messages and call :meth:`complete` when a transaction finishes, at which
+point the next eligible queued command is started.
+
+The engine also implements the paper's queue surgery ("logic to insert
+and delete (anywhere) elements in the queue"): :meth:`scrub` removes
+queued commands matching a predicate, used to delete superseded
+MREQUESTs when an invalidation is broadcast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.interconnect.message import Message
+
+StartFn = Callable[[Message], None]
+
+
+class TransactionEngine:
+    """Per-block or global serialization of controller transactions."""
+
+    def __init__(self, start_fn: StartFn, serialization: str = "block") -> None:
+        if serialization not in ("block", "global"):
+            raise ValueError("serialization must be 'block' or 'global'")
+        self._start_fn = start_fn
+        self.serialization = serialization
+        # Global mode state:
+        self._global_active: Optional[Message] = None
+        self._global_queue: Deque[Message] = deque()
+        # Block mode state:
+        self._active: Dict[int, Message] = {}
+        self._queues: Dict[int, Deque[Message]] = {}
+        self.max_concurrency = 0
+        #: Deepest backlog ever observed (the paper's controller queue).
+        self.max_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_for(self, block: int) -> Optional[Message]:
+        """The transaction currently holding ``block``, if any."""
+        if self.serialization == "global":
+            active = self._global_active
+            return active if active is not None and active.block == block else None
+        return self._active.get(block)
+
+    @property
+    def n_active(self) -> int:
+        if self.serialization == "global":
+            return 0 if self._global_active is None else 1
+        return len(self._active)
+
+    @property
+    def n_queued(self) -> int:
+        if self.serialization == "global":
+            return len(self._global_queue)
+        return sum(len(q) for q in self._queues.values())
+
+    @property
+    def idle(self) -> bool:
+        return self.n_active == 0 and self.n_queued == 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, message: Message) -> None:
+        """Start ``message``'s transaction now, or queue it."""
+        if self.serialization == "global":
+            if self._global_active is None:
+                self._global_active = message
+                self._start_fn(message)
+            else:
+                self._global_queue.append(message)
+                self.max_queue_depth = max(
+                    self.max_queue_depth, len(self._global_queue)
+                )
+            return
+        block = message.block
+        if block not in self._active:
+            self._active[block] = message
+            self.max_concurrency = max(self.max_concurrency, len(self._active))
+            self._start_fn(message)
+        else:
+            self._queues.setdefault(block, deque()).append(message)
+            self.max_queue_depth = max(self.max_queue_depth, self.n_queued)
+
+    def complete(self, block: int) -> None:
+        """Finish the active transaction on ``block``; start the next."""
+        if self.serialization == "global":
+            active = self._global_active
+            if active is None or active.block != block:
+                raise RuntimeError(f"no active global transaction on block {block}")
+            self._global_active = None
+            if self._global_queue:
+                nxt = self._global_queue.popleft()
+                self._global_active = nxt
+                self._start_fn(nxt)
+            return
+        if block not in self._active:
+            raise RuntimeError(f"no active transaction on block {block}")
+        del self._active[block]
+        queue = self._queues.get(block)
+        if queue:
+            nxt = queue.popleft()
+            self._active[block] = nxt
+            self.max_concurrency = max(self.max_concurrency, len(self._active))
+            self._start_fn(nxt)
+            if not queue:
+                self._queues.pop(block, None)
+
+    def scrub(
+        self, block: int, predicate: Callable[[Message], bool]
+    ) -> List[Message]:
+        """Delete queued commands on ``block`` matching ``predicate``.
+
+        Active transactions are never scrubbed.  Returns the removed
+        messages (the paper's controller deletes them silently; callers
+        may count them).
+        """
+        removed: List[Message] = []
+        if self.serialization == "global":
+            kept: Deque[Message] = deque()
+            for msg in self._global_queue:
+                if msg.block == block and predicate(msg):
+                    removed.append(msg)
+                else:
+                    kept.append(msg)
+            self._global_queue = kept
+            return removed
+        queue = self._queues.get(block)
+        if not queue:
+            return removed
+        kept: Deque[Message] = deque()
+        for msg in queue:
+            if predicate(msg):
+                removed.append(msg)
+            else:
+                kept.append(msg)
+        if kept:
+            self._queues[block] = kept
+        else:
+            self._queues.pop(block, None)
+        return removed

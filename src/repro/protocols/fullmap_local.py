@@ -1,0 +1,44 @@
+"""Full map with added local state (Yen-Fu, §2.4.3).
+
+Extends the full-map baseline with an *exclusive-clean* local state: a
+cache that loads a block nobody else holds is told so, and a later write
+hit on that block proceeds **without consulting the global table** (no
+MREQUEST round trip).  The synchronization problem the paper notes as
+"not fully resolved in [10]" — the directory no longer knows whether the
+block is dirty — is resolved here by marking the entry ``exclusive`` and
+querying the owner (PURGE) before trusting memory; the owner answers with
+data if it silently upgraded, or with a clean acknowledgement if not.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import CacheLine, LocalState
+from repro.protocols.base import AccessCallback
+from repro.protocols.cache_side import DirectoryCacheController
+from repro.protocols.fullmap import FullMapDirectoryController
+from repro.workloads.reference import MemRef
+
+
+class LocalStateCacheController(DirectoryCacheController):
+    """Cache side that exploits the exclusive-clean local state."""
+
+    def _write_hit_unmodified(
+        self,
+        line: CacheLine,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+    ) -> None:
+        if line.local is LocalState.EXCLUSIVE:
+            # The whole point of the scheme: no global-table round trip.
+            self.counters.add("silent_upgrades")
+            line.local = LocalState.NONE
+            self._perform_write(line, ref, callback, issue_time, hit=True)
+            return
+        super()._write_hit_unmodified(line, ref, callback, issue_time)
+
+
+class LocalStateFullMapController(FullMapDirectoryController):
+    """Directory side granting exclusive-clean fills from Absent."""
+
+    grant_exclusive_clean = True

@@ -1,0 +1,289 @@
+"""Static, software-enforced scheme (§2.2).
+
+Blocks are tagged at compile/link time as private (cacheable) or
+writeable-shared (uncacheable).  On a reference to a shared block no
+cache load takes place — the access goes straight to memory, which is
+therefore always up to date for shared data.  Private blocks use a plain
+write-back cache with no coherence machinery at all.
+
+The scheme's correctness *depends on the software tags*: if a workload
+lets two processors touch the same block while tagging it private, this
+implementation — like the real scheme — becomes incoherent, which the
+verification tests demonstrate deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cache.array import CacheArray
+from repro.cache.replacement import make_policy
+from repro.interconnect.message import Message, MessageKind
+from repro.interconnect.network import Network
+from repro.memory.module import MemoryModule
+from repro.protocols.base import (
+    AbstractCacheController,
+    AbstractMemoryController,
+    AccessCallback,
+    AccessResult,
+)
+from repro.sim.kernel import Simulator
+from repro.config import MachineConfig
+from repro.verification.oracle import CoherenceOracle
+from repro.workloads.reference import MemRef
+
+
+@dataclass
+class _Pending:
+    ref: MemRef
+    callback: AccessCallback
+    issue_time: int
+    #: "fill" (private miss) or "mem" (uncached shared access).
+    phase: str
+
+
+class StaticCacheController(AbstractCacheController):
+    """Write-back cache that refuses to cache shared-tagged blocks."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pid: int,
+        config: MachineConfig,
+        net: Network,
+        home_fn: Callable[[int], str],
+        oracle: CoherenceOracle,
+    ) -> None:
+        super().__init__(sim, pid, config)
+        self.net = net
+        self.home_fn = home_fn
+        self.oracle = oracle
+        self.array = CacheArray(
+            n_sets=config.cache_sets,
+            associativity=config.cache_assoc,
+            policy=make_policy(config.replacement, seed=config.seed + pid),
+        )
+        self.pending: Optional[_Pending] = None
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+    def access(self, ref: MemRef, callback: AccessCallback) -> None:
+        if self.pending is not None:
+            raise RuntimeError(f"{self.name} already has an outstanding reference")
+        self.counters.add("refs")
+        self.counters.add("writes" if ref.is_write else "reads")
+        issue_time = self.sim.now
+        done = self._use_array(stolen=False)
+        self.sim.at(done, self._classify, ref, callback, issue_time)
+
+    def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
+        if ref.shared:
+            # Tagged public: bypass the cache entirely (§2.2).
+            self.counters.add("uncached_accesses")
+            self.pending = _Pending(ref, callback, issue_time, phase="mem")
+            if ref.is_write:
+                # The version is drawn by the controller at the commit
+                # instant: racing uncached stores must take version
+                # numbers in memory serialization order.
+                self._send(MessageKind.MEM_WRITE, ref.block)
+            else:
+                self._send(MessageKind.MEM_READ, ref.block)
+            return
+        line = self.array.lookup(ref.block)
+        if line is not None:
+            self.array.touch(line)
+            if ref.is_write:
+                self.counters.add("write_hits")
+                version = self.oracle.new_version()
+                line.version = version
+                line.modified = True
+                self.oracle.commit_write(ref.block, version, self.sim.now, self.pid)
+                self._complete(ref, callback, issue_time, True, version)
+            else:
+                self.counters.add("read_hits")
+                self.oracle.check_read(ref.block, line.version, issue_time, self.pid)
+                self._complete(ref, callback, issue_time, True, line.version)
+            return
+        self.counters.add("write_misses" if ref.is_write else "read_misses")
+        self._evict_victim(ref.block)
+        self.pending = _Pending(ref, callback, issue_time, phase="fill")
+        self._send(MessageKind.MEM_READ, ref.block, meta={"fill": True})
+
+    def _evict_victim(self, incoming_block: int) -> None:
+        frame = self.array.frame_for(incoming_block)
+        if not frame.valid:
+            return
+        if frame.modified:
+            assert frame.block is not None
+            self.counters.add("writebacks")
+            # Private data: fire-and-forget write-back, nothing can race it.
+            self._send(
+                MessageKind.PUT,
+                frame.block,
+                version=frame.version,
+                meta={"for": "writeback"},
+            )
+        frame.reset()
+
+    # ------------------------------------------------------------------
+    # Network interface
+    # ------------------------------------------------------------------
+    def deliver(self, message: Message) -> None:
+        pending = self.pending
+        if message.kind is not MessageKind.MEM_REPLY:
+            raise ValueError(f"{self.name} cannot handle {message!r}")
+        if pending is None or pending.ref.block != message.block:
+            raise RuntimeError(f"{self.name}: unexpected reply {message!r}")
+        self.pending = None
+        if pending.phase == "fill":
+            done = self._use_array(stolen=False)
+            self.sim.at(done, self._fill, message, pending)
+            return
+        # Uncached access completed at memory.
+        if pending.ref.is_write:
+            assert message.version is not None
+            self._complete(
+                pending.ref, pending.callback, pending.issue_time, False,
+                message.version,
+            )
+        else:
+            assert message.version is not None
+            self.oracle.check_read(
+                pending.ref.block, message.version, pending.issue_time, self.pid
+            )
+            self._complete(
+                pending.ref, pending.callback, pending.issue_time, False,
+                message.version,
+            )
+
+    def _fill(self, message: Message, pending: _Pending) -> None:
+        assert message.version is not None
+        line = self.array.fill(pending.ref.block, message.version, modified=False)
+        if pending.ref.is_write:
+            version = self.oracle.new_version()
+            line.version = version
+            line.modified = True
+            self.oracle.commit_write(
+                pending.ref.block, version, self.sim.now, self.pid
+            )
+            self._complete(
+                pending.ref, pending.callback, pending.issue_time, False, version
+            )
+        else:
+            self.oracle.check_read(
+                pending.ref.block, message.version, pending.issue_time, self.pid
+            )
+            self._complete(
+                pending.ref, pending.callback, pending.issue_time, False,
+                message.version,
+            )
+
+    def _complete(
+        self,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+        hit: bool,
+        version: int,
+    ) -> None:
+        self.counters.add("latency_cycles", self.sim.now - issue_time)
+        callback(
+            AccessResult(
+                ref=ref,
+                hit=hit,
+                issue_time=issue_time,
+                complete_time=self.sim.now,
+                version=version,
+            )
+        )
+
+    def _send(self, kind: MessageKind, block: int, **fields) -> None:
+        fields.setdefault("requester", self.pid)
+        self.net.send(
+            Message(
+                kind=kind,
+                src=self.name,
+                dst=self.home_fn(block),
+                block=block,
+                **fields,
+            )
+        )
+
+    def holds(self, block: int):
+        return self.array.lookup(block)
+
+    def quiescent(self) -> bool:
+        return self.pending is None
+
+
+class StaticMemoryController(AbstractMemoryController):
+    """Memory-side agent for the software scheme: plain reads/writes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        config: MachineConfig,
+        net: Network,
+        module: MemoryModule,
+        oracle: CoherenceOracle,
+    ) -> None:
+        super().__init__(sim, index, config)
+        self.net = net
+        self.module = module
+        self.oracle = oracle
+
+    def deliver(self, message: Message) -> None:
+        if message.kind is MessageKind.MEM_READ:
+            done = self._use_memory()
+            self.sim.at(done, self._serve_read, message)
+        elif message.kind is MessageKind.MEM_WRITE:
+            done = self._use_memory()
+            self.sim.at(done, self._serve_write, message)
+        elif message.kind is MessageKind.PUT:
+            done = self._use_memory()
+            self.sim.at(done, self._absorb_writeback, message)
+        else:
+            raise ValueError(f"{self.name} cannot handle {message!r}")
+
+    def _serve_read(self, message: Message) -> None:
+        self.counters.add("reads_served")
+        self.net.send(
+            Message(
+                kind=MessageKind.MEM_REPLY,
+                src=self.name,
+                dst=message.src,
+                block=message.block,
+                version=self.module.read(message.block),
+                requester=message.requester,
+            )
+        )
+
+    def _serve_write(self, message: Message) -> None:
+        assert message.requester is not None
+        version = self.oracle.new_version()
+        self.module.write(message.block, version)
+        self.oracle.commit_write(
+            message.block, version, self.sim.now, message.requester
+        )
+        self.counters.add("writes_served")
+        self.net.send(
+            Message(
+                kind=MessageKind.MEM_REPLY,
+                src=self.name,
+                dst=message.src,
+                block=message.block,
+                version=version,
+                requester=message.requester,
+            )
+        )
+
+    def _absorb_writeback(self, message: Message) -> None:
+        assert message.version is not None
+        self.module.write(message.block, message.version)
+        self.counters.add("writebacks_absorbed")
+
+    def quiescent(self) -> bool:
+        return True

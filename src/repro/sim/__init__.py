@@ -1,0 +1,14 @@
+"""Discrete-event simulation kernel."""
+
+from repro.sim.component import Component
+from repro.sim.kernel import Event, SimulationError, Simulator
+from repro.sim.trace import MessageTracer, TraceEntry
+
+__all__ = [
+    "Component",
+    "Event",
+    "MessageTracer",
+    "SimulationError",
+    "Simulator",
+    "TraceEntry",
+]

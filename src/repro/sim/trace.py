@@ -1,0 +1,137 @@
+"""Structured event tracing for debugging protocol behaviour.
+
+Attach a :class:`MessageTracer` to a built machine to capture every
+network message (and, for directory machines, every global-state
+transition) with timestamps, filterable by block.  This is the tool to
+reach for when a run misbehaves::
+
+    tracer = MessageTracer.attach(machine, blocks={7})
+    machine.run(refs_per_proc=500)
+    print(tracer.render(last=40))
+
+The tracer wraps ``network.send``/``broadcast`` and the two-bit
+directory's ``set_state`` non-invasively; :meth:`detach` restores them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One captured event."""
+
+    time: int
+    kind: str       # "send" | "broadcast" | "state"
+    detail: str
+    block: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.time:>8}  {self.kind:<9} {self.detail}"
+
+
+class MessageTracer:
+    """Captures message and state-transition events from one machine."""
+
+    def __init__(self, machine, blocks: Optional[Set[int]] = None) -> None:
+        self.machine = machine
+        self.blocks = set(blocks) if blocks is not None else None
+        self.entries: List[TraceEntry] = []
+        self._originals = {}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, machine, blocks: Optional[Set[int]] = None) -> "MessageTracer":
+        tracer = cls(machine, blocks)
+        tracer._attach()
+        return tracer
+
+    def _attach(self) -> None:
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        net = self.machine.network
+        self._originals["send"] = net.send
+        self._originals["broadcast"] = getattr(net, "broadcast", None)
+
+        def send(message):
+            self._record("send", message.block, repr(message))
+            return self._originals["send"](message)
+
+        net.send = send
+        if self._originals["broadcast"] is not None:
+
+            def broadcast(message, exclude=None):
+                excluded = sorted(exclude or ())
+                self._record(
+                    "broadcast", message.block, f"{message!r} exclude={excluded}"
+                )
+                return self._originals["broadcast"](message, exclude)
+
+            net.broadcast = broadcast
+        self._wrap_directories()
+        self._attached = True
+
+    def _wrap_directories(self) -> None:
+        for ctrl in self.machine.controllers:
+            directory = getattr(ctrl, "directory", None)
+            if directory is None or not hasattr(directory, "set_state"):
+                continue
+            original = directory.set_state
+            self._originals[f"set_state:{ctrl.name}"] = (directory, original)
+
+            def set_state(block, state, _orig=original, _name=ctrl.name):
+                self._record(
+                    "state", block, f"{_name}: block {block} -> {state.name}"
+                )
+                return _orig(block, state)
+
+            directory.set_state = set_state
+
+    def detach(self) -> None:
+        """Restore the wrapped callables."""
+        if not self._attached:
+            return
+        self.machine.network.send = self._originals["send"]
+        if self._originals.get("broadcast") is not None:
+            self.machine.network.broadcast = self._originals["broadcast"]
+        for key, value in self._originals.items():
+            if key.startswith("set_state:"):
+                directory, original = value
+                directory.set_state = original
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Capture & query
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, block: Optional[int], detail: str) -> None:
+        if self.blocks is not None and block not in self.blocks:
+            return
+        self.entries.append(
+            TraceEntry(
+                time=self.machine.sim.now, kind=kind, detail=detail, block=block
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def for_block(self, block: int) -> List[TraceEntry]:
+        return [e for e in self.entries if e.block == block]
+
+    def of_kind(self, kind: str) -> List[TraceEntry]:
+        return [e for e in self.entries if e.kind == kind]
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Human-readable log (optionally only the trailing entries)."""
+        chosen = self.entries if last is None else self.entries[-last:]
+        if not chosen:
+            return "(trace empty)"
+        header = f"trace: {len(self.entries)} events"
+        if last is not None and len(self.entries) > last:
+            header += f" (showing last {last})"
+        return "\n".join([header] + [str(entry) for entry in chosen])

@@ -1,0 +1,16 @@
+"""Counters, tables, and paper-vs-measured comparison reporting."""
+
+from repro.stats.comparison import ComparisonCell, ComparisonReport
+from repro.stats.counters import CounterRegistry, CounterSet
+from repro.stats.histogram import Histogram
+from repro.stats.tables import Table, format_cell
+
+__all__ = [
+    "ComparisonCell",
+    "ComparisonReport",
+    "CounterRegistry",
+    "CounterSet",
+    "Histogram",
+    "Table",
+    "format_cell",
+]

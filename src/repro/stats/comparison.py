@@ -1,0 +1,86 @@
+"""Paper-vs-measured comparison utilities.
+
+The benchmarks report, for every reproduced cell, the paper's value, our
+value, and the relative deviation.  :class:`ComparisonReport` collects the
+cells and renders a summary with worst-case deviation, which EXPERIMENTS.md
+records verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class ComparisonCell:
+    """One reproduced number against its published counterpart."""
+
+    label: str
+    paper: float
+    measured: float
+    note: str = ""
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.measured - self.paper)
+
+    @property
+    def rel_error(self) -> Optional[float]:
+        """Relative error; None when the paper value is ~0."""
+        if abs(self.paper) < 1e-12:
+            return None
+        return self.abs_error / abs(self.paper)
+
+    def matches(self, rel_tol: float = 0.05, abs_tol: float = 1e-3) -> bool:
+        """True when measured is within tolerance of the paper value."""
+        return math.isclose(
+            self.measured, self.paper, rel_tol=rel_tol, abs_tol=abs_tol
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """All reproduced cells for one experiment."""
+
+    experiment: str
+    cells: List[ComparisonCell] = field(default_factory=list)
+
+    def add(
+        self, label: str, paper: float, measured: float, note: str = ""
+    ) -> ComparisonCell:
+        cell = ComparisonCell(label=label, paper=paper, measured=measured, note=note)
+        self.cells.append(cell)
+        return cell
+
+    def n_matching(self, rel_tol: float = 0.05, abs_tol: float = 1e-3) -> int:
+        return sum(1 for c in self.cells if c.matches(rel_tol, abs_tol))
+
+    def worst(self) -> Optional[ComparisonCell]:
+        """Cell with the largest absolute error."""
+        if not self.cells:
+            return None
+        return max(self.cells, key=lambda c: c.abs_error)
+
+    def max_rel_error(self) -> float:
+        """Largest relative error among cells with nonzero paper values."""
+        errors = [c.rel_error for c in self.cells if c.rel_error is not None]
+        return max(errors) if errors else 0.0
+
+    def render(self, rel_tol: float = 0.05, abs_tol: float = 1e-3) -> str:
+        """Human-readable summary block."""
+        lines = [f"== {self.experiment}: paper vs measured =="]
+        for c in self.cells:
+            rel = f"{c.rel_error * 100:6.2f}%" if c.rel_error is not None else "   n/a "
+            flag = "" if c.matches(rel_tol, abs_tol) else "  <-- deviates"
+            note = f"  [{c.note}]" if c.note else ""
+            lines.append(
+                f"  {c.label:<28} paper={c.paper:>9.3f}  ours={c.measured:>9.3f}"
+                f"  rel={rel}{flag}{note}"
+            )
+        lines.append(
+            f"  {self.n_matching(rel_tol, abs_tol)}/{len(self.cells)} cells within "
+            f"tolerance (rel {rel_tol:.0%} or abs {abs_tol:g})"
+        )
+        return "\n".join(lines)

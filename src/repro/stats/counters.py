@@ -1,0 +1,92 @@
+"""Counter instrumentation.
+
+Every component owns a :class:`CounterSet`.  Counters are created lazily on
+first increment so instrumentation points never need registration
+boilerplate; a :class:`CounterRegistry` aggregates sets across components
+for whole-system reporting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Tuple
+
+
+class CounterSet:
+    """A named bag of integer/float counters owned by one component."""
+
+    def __init__(self, owner: str = "") -> None:
+        self.owner = owner
+        self._values: Dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment ``name`` by ``amount`` (creating it at zero)."""
+        self._values[name] += amount
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite ``name`` with ``value``."""
+        self._values[name] = value
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never touched)."""
+        return self._values.get(name, 0.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def names(self) -> List[str]:
+        """Sorted counter names present in this set."""
+        return sorted(self._values)
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all counter values."""
+        return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter (used to open a measurement window)."""
+        self._values.clear()
+
+    def merge(self, other: "CounterSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for name, value in other._values.items():
+            self._values[name] += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v:g}" for k, v in self.items())
+        return f"CounterSet({self.owner}: {inner})"
+
+
+class CounterRegistry:
+    """Aggregates the counter sets of many components."""
+
+    def __init__(self) -> None:
+        self._sets: List[CounterSet] = []
+
+    def register(self, counter_set: CounterSet) -> None:
+        self._sets.append(counter_set)
+
+    def total(self, name: str) -> float:
+        """Sum of ``name`` across all registered sets."""
+        return sum(s.get(name) for s in self._sets)
+
+    def by_owner(self, name: str) -> Dict[str, float]:
+        """Per-owner values of ``name`` for sets that have it."""
+        return {s.owner: s.get(name) for s in self._sets if name in s}
+
+    def aggregate(self) -> CounterSet:
+        """One merged CounterSet over all registered sets."""
+        merged = CounterSet(owner="total")
+        for s in self._sets:
+            merged.merge(s)
+        return merged
+
+    def reset_all(self) -> None:
+        """Open a measurement window: zero every registered set."""
+        for s in self._sets:
+            s.reset()

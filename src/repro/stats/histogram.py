@@ -1,0 +1,97 @@
+"""Integer-valued histograms for latency and queue-depth distributions."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+
+class Histogram:
+    """Exact counts over integer samples, with summary statistics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._counts: Counter = Counter()
+        self._total = 0
+        self._sum = 0
+
+    def add(self, value: int, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._counts[int(value)] += count
+        self._total += count
+        self._sum += int(value) * count
+
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def min(self) -> Optional[int]:
+        return min(self._counts) if self._counts else None
+
+    @property
+    def max(self) -> Optional[int]:
+        return max(self._counts) if self._counts else None
+
+    def percentile(self, p: float) -> Optional[int]:
+        """Smallest value with at least ``p`` of the mass at or below it."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        if not self._total:
+            return None
+        needed = p * self._total
+        running = 0
+        for value in sorted(self._counts):
+            running += self._counts[value]
+            if running >= needed:
+                return value
+        return self.max
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self._counts.items())
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def merge(self, other: "Histogram") -> None:
+        for value, count in other._counts.items():
+            self.add(value, count)
+
+    def summary(self) -> str:
+        if not self._total:
+            return f"{self.name or 'histogram'}: empty"
+        return (
+            f"{self.name or 'histogram'}: n={self._total} "
+            f"mean={self.mean:.2f} min={self.min} "
+            f"p50={self.percentile(0.5)} p95={self.percentile(0.95)} "
+            f"p99={self.percentile(0.99)} max={self.max}"
+        )
+
+    def render(self, width: int = 40, max_rows: int = 20) -> str:
+        """ASCII bar chart (log-ish readable for skewed data)."""
+        if not self._counts:
+            return self.summary()
+        items = self.items()
+        if len(items) > max_rows:
+            # Bucket into equal-width ranges.
+            lo, hi = items[0][0], items[-1][0]
+            step = max(1, (hi - lo + 1) // max_rows)
+            buckets: Counter = Counter()
+            for value, count in items:
+                buckets[lo + ((value - lo) // step) * step] += count
+            items = [
+                (start, buckets[start]) for start in sorted(buckets)
+            ]
+            label = lambda v: f"{v}-{v + step - 1}"
+        else:
+            label = str
+        peak = max(count for _, count in items)
+        lines = [self.summary()]
+        for value, count in items:
+            bar = "#" * max(1, round(width * count / peak))
+            lines.append(f"  {label(value):>12} {count:>8} {bar}")
+        return "\n".join(lines)

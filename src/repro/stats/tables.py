@@ -1,0 +1,102 @@
+"""Paper-style ASCII table rendering.
+
+The benchmarks print tables in the same row/column layout as the paper
+(Tables 4-1 and 4-2: one column per processor count, row blocks per case).
+:class:`Table` is a small monospace formatter that right-aligns numeric
+cells and supports section-header rows spanning the table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, float, int, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render one cell: floats to fixed precision, None as blank."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A monospace table with an optional title and section rows.
+
+    >>> t = Table(["n:", "4", "8"], title="demo")
+    >>> t.add_section("case 1:")
+    >>> t.add_row(["w = 0.1", 0.0004, 0.005])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    n:         4      8
+    case 1:
+    w = 0.1    0.000  0.005
+    """
+
+    def __init__(
+        self,
+        header: Sequence[str],
+        title: str = "",
+        precision: int = 3,
+    ) -> None:
+        self.header = [str(h) for h in header]
+        self.title = title
+        self.precision = precision
+        self._rows: List[Optional[List[str]]] = []
+        self._sections: List[Optional[str]] = []
+
+    def add_row(self, cells: Sequence[Cell]) -> None:
+        """Append a data row; cells beyond the header width are an error."""
+        if len(cells) > len(self.header):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(self.header)}"
+            )
+        rendered = [format_cell(c, self.precision) for c in cells]
+        rendered += [""] * (len(self.header) - len(rendered))
+        self._rows.append(rendered)
+        self._sections.append(None)
+
+    def add_section(self, label: str) -> None:
+        """Append a section-header row spanning all columns."""
+        self._rows.append(None)
+        self._sections.append(label)
+
+    @property
+    def n_data_rows(self) -> int:
+        return sum(1 for r in self._rows if r is not None)
+
+    def render(self) -> str:
+        """Return the formatted table as a string."""
+        widths = [len(h) for h in self.header]
+        for row in self._rows:
+            if row is None:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            parts = []
+            for i, cell in enumerate(cells):
+                if i == 0:
+                    parts.append(cell.ljust(widths[i]))
+                else:
+                    parts.append(cell.rjust(widths[i]))
+            return "  ".join(parts).rstrip()
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(self.header))
+        for row, section in zip(self._rows, self._sections):
+            if row is None:
+                lines.append(str(section))
+            else:
+                lines.append(fmt_line(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,212 @@
+"""Build a simulated multiprocessor from a :class:`MachineConfig`.
+
+The builder realizes Figure 3-1: ``n`` processor-cache pairs and ``m``
+controller-memory pairs joined by an interconnection network, with the
+protocol selected by ``config.protocol``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set
+
+from repro.interconnect.bus import Bus
+from repro.interconnect.delta import DeltaNetwork
+from repro.interconnect.network import Network, PointToPointNetwork
+from repro.memory.address import AddressMap
+from repro.memory.module import MemoryModule
+from repro.processors.processor import Processor
+from repro.sim.kernel import Simulator
+from repro.stats.counters import CounterRegistry
+from repro.config import MachineConfig
+from repro.system.machine import Machine
+from repro.verification.oracle import CoherenceOracle
+from repro.workloads.synthetic import Workload
+
+from repro.core.controller import TwoBitDirectoryController
+from repro.protocols.cache_side import DirectoryCacheController
+from repro.protocols.classical import (
+    ClassicalCacheController,
+    ClassicalMemoryController,
+)
+from repro.protocols.fullmap import FullMapDirectoryController
+from repro.protocols.fullmap_local import (
+    LocalStateCacheController,
+    LocalStateFullMapController,
+)
+from repro.protocols.illinois import IllinoisBusManager, IllinoisCacheController
+from repro.protocols.snoop import SnoopBusManager
+from repro.protocols.static import StaticCacheController, StaticMemoryController
+from repro.protocols.write_once import WriteOnceCacheController
+from repro.protocols.wt_filter import (
+    WTFilterCacheController,
+    WTFilterMemoryController,
+)
+
+
+def build_network(sim: Simulator, config: MachineConfig) -> Network:
+    """Instantiate the configured interconnect (unattached)."""
+    timing = config.timing
+    if config.network == "xbar":
+        return PointToPointNetwork(sim, latency=timing.net_latency)
+    if config.network == "bus":
+        return Bus(sim, latency=timing.net_latency, slot_cycles=timing.bus_slot)
+    return DeltaNetwork(sim, latency=timing.net_latency, radix=config.delta_radix)
+
+
+def build_machine(config: MachineConfig, workload: Workload) -> Machine:
+    """Assemble and wire every component for ``config`` and ``workload``."""
+    if workload.n_processors != config.n_processors:
+        raise ValueError(
+            f"workload drives {workload.n_processors} processors, config has "
+            f"{config.n_processors}"
+        )
+    needed = getattr(workload, "n_blocks", None)
+    if needed is not None and needed > config.n_blocks:
+        raise ValueError(
+            f"workload touches {needed} blocks, config address space is "
+            f"{config.n_blocks}"
+        )
+    sim = Simulator(tie_seed=config.tie_seed)
+    oracle = CoherenceOracle(strict=config.strict_coherence)
+    amap = AddressMap(config.n_modules, config.n_blocks)
+    modules = [
+        MemoryModule(
+            sim, i, amap.blocks_of(i), access_time=config.timing.mem_access
+        )
+        for i in range(config.n_modules)
+    ]
+    net = build_network(sim, config)
+    home_fn: Callable[[int], str] = lambda block: f"ctrl{amap.home(block)}"
+
+    caches: List = []
+    controllers: List = []
+    managers: List = []
+
+    if config.protocol in ("twobit", "fullmap", "fullmap_local"):
+        cache_cls = (
+            LocalStateCacheController
+            if config.protocol == "fullmap_local"
+            else DirectoryCacheController
+        )
+        caches = [
+            cache_cls(sim, pid, config, net, home_fn, oracle)
+            for pid in range(config.n_processors)
+        ]
+
+        def holders_fn(block: int) -> Set[int]:
+            # Ground truth for the forced-hit translation buffer.  Must be
+            # conservative: include caches whose fill for the block is in
+            # flight (they are owners from the directory's point of view) —
+            # missing one would skip a required invalidation.
+            holders = set()
+            for cache in caches:
+                if cache.holds(block) is not None or block in cache.wb_buffer:
+                    holders.add(cache.pid)
+                elif (
+                    cache.pending is not None
+                    and cache.pending.ref.block == block
+                ):
+                    holders.add(cache.pid)
+            return holders
+
+        for i, module in enumerate(modules):
+            if config.protocol == "twobit":
+                ctrl = TwoBitDirectoryController(
+                    sim, i, config, net, module, config.n_processors,
+                    holders_fn=holders_fn,
+                )
+            elif config.protocol == "fullmap":
+                ctrl = FullMapDirectoryController(
+                    sim, i, config, net, module, config.n_processors
+                )
+            else:
+                ctrl = LocalStateFullMapController(
+                    sim, i, config, net, module, config.n_processors
+                )
+            controllers.append(ctrl)
+        _attach_all(net, caches, controllers)
+    elif config.protocol in ("classical", "twobit_wt"):
+        cache_cls = (
+            WTFilterCacheController
+            if config.protocol == "twobit_wt"
+            else ClassicalCacheController
+        )
+        ctrl_cls = (
+            WTFilterMemoryController
+            if config.protocol == "twobit_wt"
+            else ClassicalMemoryController
+        )
+        caches = [
+            cache_cls(sim, pid, config, net, home_fn, oracle)
+            for pid in range(config.n_processors)
+        ]
+        for i, module in enumerate(modules):
+            ctrl = ctrl_cls(sim, i, config, net, module, oracle)
+            ctrl.caches = caches
+            controllers.append(ctrl)
+        _attach_all(net, caches, controllers)
+    elif config.protocol == "static":
+        caches = [
+            StaticCacheController(sim, pid, config, net, home_fn, oracle)
+            for pid in range(config.n_processors)
+        ]
+        controllers = [
+            StaticMemoryController(sim, i, config, net, module, oracle)
+            for i, module in enumerate(modules)
+        ]
+        _attach_all(net, caches, controllers)
+    else:  # snooping protocols on the bus
+        assert isinstance(net, Bus)
+        manager_cls = (
+            IllinoisBusManager if config.protocol == "illinois" else SnoopBusManager
+        )
+        manager = manager_cls(sim, config, net, modules, amap)
+        cache_cls = (
+            IllinoisCacheController
+            if config.protocol == "illinois"
+            else WriteOnceCacheController
+        )
+        caches = [
+            cache_cls(sim, pid, config, manager, oracle)
+            for pid in range(config.n_processors)
+        ]
+        manager.caches = caches
+        managers.append(manager)
+
+    processors = [
+        Processor(sim, pid, caches[pid], workload.stream(pid))
+        for pid in range(config.n_processors)
+    ]
+
+    registry = CounterRegistry()
+    for component in [*caches, *controllers, *processors, *managers, net, *modules]:
+        registry.register(component.counters)
+
+    return Machine(
+        config=config,
+        sim=sim,
+        oracle=oracle,
+        amap=amap,
+        workload=workload,
+        processors=processors,
+        caches=caches,
+        controllers=controllers,
+        modules=modules,
+        network=net,
+        managers=managers,
+        registry=registry,
+    )
+
+
+def _attach_all(net: Network, caches, controllers) -> None:
+    """Attach endpoints; caches form the broadcast group."""
+    if isinstance(net, DeltaNetwork):
+        for cache in caches:
+            net.attach_port(cache, side="proc", broadcast_member=True)
+        for ctrl in controllers:
+            net.attach_port(ctrl, side="mem")
+        return
+    for cache in caches:
+        net.attach(cache, broadcast_member=True)
+    for ctrl in controllers:
+        net.attach(ctrl)

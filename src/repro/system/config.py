@@ -1,0 +1,12 @@
+"""Compatibility shim: the configuration dataclasses live in
+:mod:`repro.config` (kept import-light to avoid package-init cycles)."""
+
+from repro.config import (  # noqa: F401
+    NETWORKS,
+    PROTOCOLS,
+    MachineConfig,
+    ProtocolOptions,
+    TimingConfig,
+)
+
+__all__ = ["MachineConfig", "NETWORKS", "PROTOCOLS", "ProtocolOptions", "TimingConfig"]

@@ -1,0 +1,249 @@
+"""The assembled multiprocessor and its run harness.
+
+:class:`Machine` owns every wired component and provides warm-up /
+measurement-window execution, aggregated results, and post-run audits.
+The headline measurement — extra coherence commands received per cache
+per memory reference, the unit of Tables 4-1 and 4-2 — is computed in
+:meth:`Machine.results`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.controller import TwoBitDirectoryController
+from repro.core.states import GlobalState
+from repro.memory.address import AddressMap
+from repro.sim.kernel import Simulator
+from repro.stats.counters import CounterRegistry, CounterSet
+from repro.config import MachineConfig
+from repro.verification.oracle import CoherenceOracle
+
+
+@dataclass
+class SimulationResults:
+    """Aggregated measurements from one measurement window."""
+
+    protocol: str
+    n_processors: int
+    total_refs: int
+    cycles: int
+    #: Paper's Table 4-1 unit: useless broadcast commands received per
+    #: cache per memory reference (averaged over caches).
+    extra_commands_per_ref: float
+    #: All coherence commands received per cache per reference.
+    commands_per_ref: float
+    stolen_cycles_per_ref: float
+    processor_wait_per_ref: float
+    avg_latency: float
+    miss_ratio: float
+    shared_hit_ratio: Optional[float]
+    #: Network occupancy-weighted traffic per reference.
+    traffic_per_ref: float
+    broadcasts: int
+    invalidations_applied: int
+    writebacks: int
+    totals: Dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"protocol={self.protocol} n={self.n_processors} "
+            f"refs={self.total_refs} cycles={self.cycles}",
+            f"  extra commands/ref/cache : {self.extra_commands_per_ref:.4f}",
+            f"  commands/ref/cache       : {self.commands_per_ref:.4f}",
+            f"  stolen cycles/ref        : {self.stolen_cycles_per_ref:.4f}",
+            f"  miss ratio               : {self.miss_ratio:.4f}",
+            f"  avg latency (cycles)     : {self.avg_latency:.2f}",
+            f"  traffic units/ref        : {self.traffic_per_ref:.3f}",
+        ]
+        if self.shared_hit_ratio is not None:
+            lines.insert(5, f"  shared hit ratio         : {self.shared_hit_ratio:.4f}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Machine:
+    """A fully wired simulated multiprocessor."""
+
+    config: MachineConfig
+    sim: Simulator
+    oracle: CoherenceOracle
+    amap: AddressMap
+    workload: object
+    processors: List
+    caches: List
+    controllers: List
+    modules: List
+    network: object
+    managers: List
+    registry: CounterRegistry
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        refs_per_proc: int,
+        warmup_refs: int = 0,
+        max_events_per_ref: int = 400,
+    ) -> None:
+        """Run a warm-up phase (optional) then a measurement window."""
+        if warmup_refs:
+            self._run_phase(warmup_refs, max_events_per_ref)
+            self.reset_measurement()
+        self._run_phase(refs_per_proc, max_events_per_ref)
+
+    def _run_phase(self, refs_per_proc: int, max_events_per_ref: int) -> None:
+        for proc in self.processors:
+            proc.budget += refs_per_proc
+            proc.resume()
+        guard = (
+            max_events_per_ref * refs_per_proc * self.config.n_processors + 100_000
+        )
+        self.sim.run(max_events=guard)
+        self._assert_drained()
+
+    def _assert_drained(self) -> None:
+        stuck = [p.name for p in self.processors if not p.drained]
+        if stuck or self.sim.pending:
+            raise RuntimeError(
+                f"machine did not drain: busy processors={stuck}, "
+                f"pending events={self.sim.pending}"
+            )
+
+    def reset_measurement(self) -> None:
+        """Open a measurement window: zero all counters and state clocks."""
+        from repro.stats.histogram import Histogram
+
+        self.registry.reset_all()
+        for proc in self.processors:
+            proc.latency_histogram = Histogram(name=proc.latency_histogram.name)
+        for ctrl in self.controllers:
+            directory = getattr(ctrl, "directory", None)
+            if directory is not None and hasattr(directory, "reset_window"):
+                directory.reset_window()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def results(self) -> SimulationResults:
+        caches = self.caches
+        n = len(caches)
+        refs = sum(c.counters.get("refs") for c in caches)
+        per_cache_extra = [
+            c.counters.get("broadcast_useless") / max(c.counters.get("refs"), 1)
+            for c in caches
+        ]
+        per_cache_cmds = [
+            c.counters.get("snoop_commands") / max(c.counters.get("refs"), 1)
+            for c in caches
+        ]
+        stolen = sum(c.counters.get("stolen_cycles") for c in caches)
+        wait = sum(c.counters.get("processor_wait_cycles") for c in caches)
+        latency = sum(p.counters.get("latency_cycles") for p in self.processors)
+        completed = sum(p.counters.get("refs") for p in self.processors)
+        hits = sum(
+            c.counters.get("read_hits") + c.counters.get("write_hits")
+            for c in caches
+        )
+        # write_hits_unmodified complete as hits too (MREQUEST path).
+        hits += sum(c.counters.get("write_hits_unmodified") for c in caches)
+        shared_refs = sum(p.counters.get("shared_refs") for p in self.processors)
+        shared_hits = sum(p.counters.get("shared_hits") for p in self.processors)
+        net_counters: CounterSet = self.network.counters  # type: ignore[attr-defined]
+        traffic = net_counters.get("traffic_units")
+        totals = self.registry.aggregate().snapshot()
+        return SimulationResults(
+            protocol=self.config.protocol,
+            n_processors=self.config.n_processors,
+            total_refs=int(refs),
+            cycles=self.sim.now,
+            extra_commands_per_ref=(sum(per_cache_extra) / n) if n else 0.0,
+            commands_per_ref=(sum(per_cache_cmds) / n) if n else 0.0,
+            stolen_cycles_per_ref=stolen / max(refs, 1),
+            processor_wait_per_ref=wait / max(refs, 1),
+            avg_latency=latency / max(completed, 1),
+            miss_ratio=1.0 - hits / max(refs, 1),
+            shared_hit_ratio=(
+                shared_hits / shared_refs if shared_refs else None
+            ),
+            traffic_per_ref=traffic / max(refs, 1),
+            broadcasts=int(
+                sum(
+                    ctrl.counters.get("broadinv_sent")
+                    + ctrl.counters.get("broadquery_sent")
+                    for ctrl in self.controllers
+                )
+            ),
+            invalidations_applied=int(
+                sum(c.counters.get("invalidations_applied") for c in caches)
+            ),
+            writebacks=int(
+                sum(
+                    ctrl.counters.get("writebacks_absorbed")
+                    for ctrl in self.controllers
+                )
+            ),
+            totals=totals,
+        )
+
+    # ------------------------------------------------------------------
+    # Directory introspection (two-bit machines)
+    # ------------------------------------------------------------------
+    def state_occupancy(
+        self, blocks: Optional[Iterable[int]] = None
+    ) -> Dict[GlobalState, float]:
+        """Time-weighted global-state occupancy over ``blocks`` (two-bit
+        machines only), e.g. the shared pool — yields measured P(P1),
+        P(P*), P(PM) for the analytic model."""
+        chosen = list(blocks) if blocks is not None else None
+        totals = {state: 0.0 for state in GlobalState}
+        weight = 0
+        for ctrl in self.controllers:
+            if not isinstance(ctrl, TwoBitDirectoryController):
+                raise TypeError("state_occupancy requires the two-bit protocol")
+            ctrl.directory.close_window()
+            local = (
+                [b for b in chosen if b in ctrl.directory]
+                if chosen is not None
+                else None
+            )
+            if local is not None and not local:
+                continue
+            occ = ctrl.directory.occupancy(local)
+            share = len(local) if local is not None else len(ctrl.directory)
+            for state, frac in occ.items():
+                totals[state] += frac * share
+            weight += share
+        if weight == 0:
+            return {state: 0.0 for state in GlobalState}
+        return {state: value / weight for state, value in totals.items()}
+
+    def latency_histogram(self):
+        """Merged per-reference latency distribution across processors."""
+        from repro.stats.histogram import Histogram
+
+        merged = Histogram(name="latency (cycles)")
+        for proc in self.processors:
+            merged.merge(proc.latency_histogram)
+        return merged
+
+    def translation_buffer_stats(self) -> Dict[str, float]:
+        """Aggregate §4.4 translation-buffer statistics."""
+        hits = misses = selective = 0.0
+        for ctrl in self.controllers:
+            tbuf = getattr(ctrl, "tbuf", None)
+            if tbuf is None:
+                continue
+            hits += tbuf.hits
+            misses += tbuf.misses
+            selective += ctrl.counters.get("selective_invalidations")
+            selective += ctrl.counters.get("selective_purges")
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / total if total else 0.0,
+            "selective_commands": selective,
+        }

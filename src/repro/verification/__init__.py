@@ -1,0 +1,11 @@
+"""Verification layer: coherence oracle and quiescent audits."""
+
+from repro.verification.audit import AuditReport, audit_machine
+from repro.verification.oracle import CoherenceOracle, CoherenceViolation
+
+__all__ = [
+    "AuditReport",
+    "CoherenceOracle",
+    "CoherenceViolation",
+    "audit_machine",
+]

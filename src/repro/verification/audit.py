@@ -1,0 +1,192 @@
+"""Quiescent-state audits.
+
+After a machine drains, the audit cross-checks three layers of truth —
+cache lines, directory state, memory contents, and the oracle's commit
+history — against the invariants every coherent protocol must satisfy,
+plus directory-specific invariants for the two-bit and full-map schemes.
+
+Run it after every integration test; any violation is a protocol bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.states import GlobalState
+
+
+@dataclass
+class AuditReport:
+    """Violations found by :func:`audit_machine` (empty = clean)."""
+
+    violations: List[str] = field(default_factory=list)
+
+    def fail(self, message: str) -> None:
+        self.violations.append(message)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            preview = "\n  ".join(self.violations[:20])
+            raise AssertionError(
+                f"{len(self.violations)} audit violations:\n  {preview}"
+            )
+
+
+def _lines_by_block(machine, block: int) -> List[tuple]:
+    """(pid, line) pairs for every valid cached copy of ``block``."""
+    found = []
+    for cache in machine.caches:
+        array = getattr(cache, "array", None)
+        if array is None:
+            continue
+        line = array.lookup(block)
+        if line is not None:
+            found.append((cache.pid, line))
+    return found
+
+
+def audit_machine(machine) -> AuditReport:
+    """Full quiescent audit; see module docstring."""
+    report = AuditReport()
+    _audit_quiescence(machine, report)
+    for block in range(machine.config.n_blocks):
+        _audit_block_values(machine, block, report)
+    protocol = machine.config.protocol
+    if protocol in ("twobit", "twobit_wt"):
+        _audit_twobit_directory(machine, report)
+    elif protocol in ("fullmap", "fullmap_local"):
+        _audit_fullmap_directory(machine, report)
+    if machine.oracle.violations:
+        for violation in machine.oracle.violations:
+            report.fail(f"oracle: {violation}")
+    return report
+
+
+def _audit_quiescence(machine, report: AuditReport) -> None:
+    if machine.sim.pending:
+        report.fail(f"{machine.sim.pending} events still pending")
+    for cache in machine.caches:
+        if hasattr(cache, "quiescent") and not cache.quiescent():
+            report.fail(f"{cache.name} not quiescent")
+    for ctrl in machine.controllers:
+        if not ctrl.quiescent():
+            report.fail(f"{ctrl.name} not quiescent")
+
+
+def _audit_block_values(machine, block: int, report: AuditReport) -> None:
+    copies = _lines_by_block(machine, block)
+    dirty = [(pid, line) for pid, line in copies if line.modified]
+    clean = [(pid, line) for pid, line in copies if not line.modified]
+    if len(dirty) > 1:
+        report.fail(
+            f"block {block}: {len(dirty)} modified copies "
+            f"(pids {[p for p, _ in dirty]})"
+        )
+        return
+    latest = machine.oracle.latest_version(block)
+    module = machine.modules[machine.amap.home(block)]
+    mem_version = module.peek(block)
+    if dirty:
+        pid, line = dirty[0]
+        if line.version != latest:
+            report.fail(
+                f"block {block}: dirty copy at P{pid} has v{line.version}, "
+                f"latest committed is v{latest}"
+            )
+        if clean:
+            report.fail(
+                f"block {block}: dirty copy coexists with clean copies at "
+                f"pids {[p for p, _ in clean]}"
+            )
+    else:
+        if latest and mem_version != latest:
+            report.fail(
+                f"block {block}: no dirty copy but memory has v{mem_version}, "
+                f"latest committed is v{latest}"
+            )
+        for pid, line in clean:
+            if line.version != mem_version:
+                report.fail(
+                    f"block {block}: clean copy at P{pid} has v{line.version}, "
+                    f"memory has v{mem_version}"
+                )
+
+
+def _audit_twobit_directory(machine, report: AuditReport) -> None:
+    for ctrl in machine.controllers:
+        for block in range(machine.config.n_blocks):
+            if block not in ctrl.directory:
+                continue
+            state = ctrl.directory.state(block)
+            copies = _lines_by_block(machine, block)
+            n_copies = len(copies)
+            n_dirty = sum(1 for _, line in copies if line.modified)
+            if state is GlobalState.ABSENT and n_copies:
+                report.fail(
+                    f"block {block}: state Absent but cached at "
+                    f"{[p for p, _ in copies]}"
+                )
+            elif state is GlobalState.PRESENT1:
+                if n_copies != 1 or n_dirty:
+                    report.fail(
+                        f"block {block}: state Present1 but copies={n_copies} "
+                        f"dirty={n_dirty}"
+                    )
+            elif state is GlobalState.PRESENT_STAR and n_dirty:
+                report.fail(
+                    f"block {block}: state Present* with a dirty copy"
+                )
+            elif state is GlobalState.PRESENTM and (
+                n_copies != 1 or n_dirty != 1
+            ):
+                report.fail(
+                    f"block {block}: state PresentM but copies={n_copies} "
+                    f"dirty={n_dirty}"
+                )
+            _audit_tbuf_entry(ctrl, block, copies, report)
+
+
+def _audit_tbuf_entry(ctrl, block, copies, report: AuditReport) -> None:
+    tbuf = getattr(ctrl, "tbuf", None)
+    if tbuf is None:
+        return
+    owners = tbuf.peek(block)
+    if owners is None:
+        return
+    actual = {pid for pid, _ in copies}
+    if owners != actual:
+        report.fail(
+            f"block {block}: translation buffer says {sorted(owners)}, "
+            f"actual holders {sorted(actual)}"
+        )
+
+
+def _audit_fullmap_directory(machine, report: AuditReport) -> None:
+    for ctrl in machine.controllers:
+        for block in range(machine.config.n_blocks):
+            if block not in ctrl.directory:
+                continue
+            entry = ctrl.directory.entry(block)
+            copies = _lines_by_block(machine, block)
+            actual = {pid for pid, _ in copies}
+            if entry.owners != actual:
+                report.fail(
+                    f"block {block}: directory owners {sorted(entry.owners)} "
+                    f"!= actual holders {sorted(actual)}"
+                )
+            n_dirty = sum(1 for _, line in copies if line.modified)
+            if entry.modified and n_dirty != 1:
+                report.fail(
+                    f"block {block}: directory says modified but dirty "
+                    f"copies={n_dirty}"
+                )
+            if not entry.modified and not entry.exclusive and n_dirty:
+                report.fail(
+                    f"block {block}: directory says clean but a dirty copy "
+                    "exists"
+                )

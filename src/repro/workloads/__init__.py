@@ -1,0 +1,37 @@
+"""Workloads: the Dubois-Briggs two-stream model, traces, and helpers."""
+
+from repro.workloads.locks import LockContentionWorkload
+from repro.workloads.migration import MigratingWorkload
+from repro.workloads.reference import MemRef, Op
+from repro.workloads.synthetic import (
+    HIGH_SHARING,
+    LOW_SHARING,
+    MODERATE_SHARING,
+    DuboisBriggsWorkload,
+    ScriptedWorkload,
+    SharingLevel,
+    UniformWorkload,
+    Workload,
+    hot_cold_scripts,
+)
+from repro.workloads.traces import TraceWorkload, read_trace, record, write_trace
+
+__all__ = [
+    "DuboisBriggsWorkload",
+    "LockContentionWorkload",
+    "MigratingWorkload",
+    "HIGH_SHARING",
+    "LOW_SHARING",
+    "MODERATE_SHARING",
+    "MemRef",
+    "Op",
+    "ScriptedWorkload",
+    "SharingLevel",
+    "TraceWorkload",
+    "UniformWorkload",
+    "Workload",
+    "hot_cold_scripts",
+    "read_trace",
+    "record",
+    "write_trace",
+]

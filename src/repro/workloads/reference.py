@@ -1,0 +1,57 @@
+"""Memory reference stream primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Op(Enum):
+    """A processor memory operation (the paper's LOAD/STORE)."""
+
+    READ = "R"
+    WRITE = "W"
+
+    @classmethod
+    def parse(cls, text: str) -> "Op":
+        text = text.strip().upper()
+        for op in cls:
+            if text in (op.value, op.name):
+                return op
+        raise ValueError(f"cannot parse operation {text!r}")
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """One memory reference issued by processor ``pid``.
+
+    Coherence operates at block granularity, so the address is the block
+    number; the within-block displacement ``d`` of the paper is immaterial
+    and not carried.
+    """
+
+    pid: int
+    op: Op
+    block: int
+    #: True when the generator classifies this as a writeable-shared block
+    #: reference (the paper's ``q``-stream); used by measurement, and by
+    #: the static scheme, which never caches shared-writeable data.
+    shared: bool = False
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is Op.WRITE
+
+    def __str__(self) -> str:
+        tag = "s" if self.shared else "p"
+        return f"{self.pid} {self.op.value} {self.block} {tag}"
+
+    @classmethod
+    def parse(cls, line: str) -> "MemRef":
+        """Inverse of :meth:`__str__` (trace file line format)."""
+        parts = line.split()
+        if len(parts) not in (3, 4):
+            raise ValueError(f"malformed trace line: {line!r}")
+        pid, op, block = int(parts[0]), Op.parse(parts[1]), int(parts[2])
+        shared = len(parts) == 4 and parts[3] == "s"
+        return cls(pid=pid, op=op, block=block, shared=shared)

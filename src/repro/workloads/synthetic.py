@@ -1,0 +1,234 @@
+"""Synthetic workload generators.
+
+The central generator is :class:`DuboisBriggsWorkload`, the two-stream
+reference model the paper's evaluation is built on (§4.2, after [3]):
+each reference is, with probability ``q``, to a writeable-shared block
+(uniform over a pool of ``n_shared_blocks``, matching Table 4-2's "the
+probability that a shared block reference is to a particular shared block
+is 1/16"); otherwise it is to the processor's private pool.  A reference
+to a shared block is a write with probability ``w``.
+
+Private streams use an LRU-stack-distance locality model: depth is
+geometric with parameter ``locality``, so the private hit ratio in a cache
+of capacity C approaches ``1 - locality**C`` and can be dialed to the
+paper's regime (h between 0.80 and 0.95).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.workloads.reference import MemRef, Op
+
+
+class Workload(ABC):
+    """A per-processor infinite reference stream factory."""
+
+    n_processors: int
+
+    @abstractmethod
+    def stream(self, pid: int) -> Iterator[MemRef]:
+        """Infinite iterator of references for processor ``pid``."""
+
+    def take(self, pid: int, count: int) -> List[MemRef]:
+        """First ``count`` references of processor ``pid``'s stream."""
+        it = self.stream(pid)
+        return [next(it) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class SharingLevel:
+    """A named (q, w) sharing regime, as in the paper's §4.3 cases."""
+
+    name: str
+    q: float
+    w: float
+
+
+#: The paper's three sharing cases (§4.3).  ``w`` is swept separately in
+#: the tables; the value here is a representative midpoint.
+LOW_SHARING = SharingLevel("low", q=0.01, w=0.2)
+MODERATE_SHARING = SharingLevel("moderate", q=0.05, w=0.2)
+HIGH_SHARING = SharingLevel("high", q=0.10, w=0.2)
+
+
+class DuboisBriggsWorkload(Workload):
+    """Two-stream (private + writeable-shared) reference model.
+
+    Args:
+        n_processors: number of processor-cache pairs.
+        q: probability a reference is to the shared pool.
+        w: probability a shared reference is a write.
+        n_shared_blocks: size of the globally shared pool (paper: 16).
+        private_blocks_per_proc: size of each processor's private pool.
+        locality: geometric stack-distance parameter for private refs;
+            larger means deeper (worse locality).
+        private_write_frac: fraction of private references that are writes
+            (exercises write-backs without coherence traffic).
+        shared_base: first block number of the shared pool; private pools
+            are laid out after it, disjoint per processor.
+        seed: master seed; per-processor streams derive their own RNGs.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        q: float = 0.05,
+        w: float = 0.2,
+        n_shared_blocks: int = 16,
+        private_blocks_per_proc: int = 256,
+        locality: float = 0.95,
+        private_write_frac: float = 0.3,
+        shared_base: int = 0,
+        seed: int = 1984,
+    ) -> None:
+        if not 0.0 <= q <= 1.0 or not 0.0 <= w <= 1.0:
+            raise ValueError("q and w must be probabilities")
+        if n_shared_blocks < 1 or private_blocks_per_proc < 1:
+            raise ValueError("pools must be non-empty")
+        if not 0.0 < locality < 1.0:
+            raise ValueError("locality must be in (0, 1)")
+        self.n_processors = n_processors
+        self.q = q
+        self.w = w
+        self.n_shared_blocks = n_shared_blocks
+        self.private_blocks_per_proc = private_blocks_per_proc
+        self.locality = locality
+        self.private_write_frac = private_write_frac
+        self.shared_base = shared_base
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Address-space layout
+    # ------------------------------------------------------------------
+    @property
+    def shared_blocks(self) -> range:
+        return range(self.shared_base, self.shared_base + self.n_shared_blocks)
+
+    def private_blocks(self, pid: int) -> range:
+        start = (
+            self.shared_base
+            + self.n_shared_blocks
+            + pid * self.private_blocks_per_proc
+        )
+        return range(start, start + self.private_blocks_per_proc)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total address-space size covering every pool."""
+        return (
+            self.shared_base
+            + self.n_shared_blocks
+            + self.n_processors * self.private_blocks_per_proc
+        )
+
+    def is_shared_block(self, block: int) -> bool:
+        return block in self.shared_blocks
+
+    # ------------------------------------------------------------------
+    # Stream generation
+    # ------------------------------------------------------------------
+    def stream(self, pid: int) -> Iterator[MemRef]:
+        if not 0 <= pid < self.n_processors:
+            raise ValueError(f"pid {pid} out of range")
+        return self._generate(pid)
+
+    def _generate(self, pid: int) -> Iterator[MemRef]:
+        rng = random.Random(f"{self.seed}-{pid}")
+        # LRU stack over the private pool; front = most recent.
+        stack: List[int] = list(self.private_blocks(pid))
+        rng.shuffle(stack)
+        shared = list(self.shared_blocks)
+        while True:
+            if rng.random() < self.q:
+                block = shared[rng.randrange(len(shared))]
+                op = Op.WRITE if rng.random() < self.w else Op.READ
+                yield MemRef(pid=pid, op=op, block=block, shared=True)
+            else:
+                depth = self._stack_depth(rng, len(stack))
+                block = stack.pop(depth)
+                stack.insert(0, block)
+                op = (
+                    Op.WRITE
+                    if rng.random() < self.private_write_frac
+                    else Op.READ
+                )
+                yield MemRef(pid=pid, op=op, block=block, shared=False)
+
+    def _stack_depth(self, rng: random.Random, limit: int) -> int:
+        """Geometric stack distance, truncated to the pool size."""
+        depth = 0
+        while depth < limit - 1 and rng.random() < self.locality:
+            depth += 1
+            if depth >= 64 and rng.random() < 0.5:
+                # Long tail shortcut: jump uniformly into the cold region.
+                return rng.randrange(depth, limit)
+        return depth
+
+
+class UniformWorkload(Workload):
+    """Uniform random references over one flat pool (stress testing)."""
+
+    def __init__(
+        self,
+        n_processors: int,
+        n_blocks: int,
+        write_frac: float = 0.3,
+        seed: int = 7,
+    ) -> None:
+        if n_blocks < 1:
+            raise ValueError("need at least one block")
+        self.n_processors = n_processors
+        self.n_blocks = n_blocks
+        self.write_frac = write_frac
+        self.seed = seed
+
+    def stream(self, pid: int) -> Iterator[MemRef]:
+        rng = random.Random(f"{self.seed}-{pid}")
+        while True:
+            block = rng.randrange(self.n_blocks)
+            op = Op.WRITE if rng.random() < self.write_frac else Op.READ
+            yield MemRef(pid=pid, op=op, block=block, shared=True)
+
+
+class ScriptedWorkload(Workload):
+    """Fixed per-processor reference lists (deterministic tests).
+
+    Streams are finite: iteration stops when a processor's script is
+    exhausted.
+    """
+
+    def __init__(self, scripts: Sequence[Sequence[MemRef]]) -> None:
+        self.n_processors = len(scripts)
+        self._scripts = [list(s) for s in scripts]
+
+    def stream(self, pid: int) -> Iterator[MemRef]:
+        return iter(self._scripts[pid])
+
+    @property
+    def n_blocks(self) -> int:
+        blocks = [
+            r.block for script in self._scripts for r in script
+        ]
+        return (max(blocks) + 1) if blocks else 1
+
+
+def hot_cold_scripts(
+    n_processors: int,
+    hot_block: int,
+    refs_per_proc: int,
+    write_every: int = 4,
+) -> ScriptedWorkload:
+    """All processors hammer one hot block, writing every ``write_every``
+    references — the worst case for the two-bit scheme (heavy sharing)."""
+    scripts = []
+    for pid in range(n_processors):
+        script = []
+        for i in range(refs_per_proc):
+            op = Op.WRITE if (i + pid) % write_every == 0 else Op.READ
+            script.append(MemRef(pid=pid, op=op, block=hot_block, shared=True))
+        scripts.append(script)
+    return ScriptedWorkload(scripts)

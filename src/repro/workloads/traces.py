@@ -1,0 +1,87 @@
+"""Trace files: capture, store, and replay reference streams.
+
+The format is one :class:`~repro.workloads.reference.MemRef` per line
+(``pid op block p|s``) with ``#`` comments, so traces are diffable and
+hand-editable.  :class:`TraceWorkload` replays a trace as a per-processor
+workload, letting any experiment be repeated exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.workloads.reference import MemRef
+from repro.workloads.synthetic import Workload
+
+
+def write_trace(path: Union[str, Path], refs: Iterable[MemRef]) -> int:
+    """Write references to ``path``; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("# repro trace v1: pid op block p|s\n")
+        for ref in refs:
+            fh.write(str(ref) + "\n")
+            count += 1
+    return count
+
+
+def read_trace(path: Union[str, Path]) -> List[MemRef]:
+    """Read every reference in ``path`` (order preserved)."""
+    refs: List[MemRef] = []
+    with open(path, "r", encoding="ascii") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                refs.append(MemRef.parse(line))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return refs
+
+
+def record(workload: Workload, refs_per_proc: int) -> List[MemRef]:
+    """Materialize a round-robin interleaving of a workload's streams.
+
+    The interleaving fixes a canonical global order so a recorded trace is
+    one deterministic object, independent of simulator timing.
+    """
+    streams = [workload.stream(pid) for pid in range(workload.n_processors)]
+    out: List[MemRef] = []
+    for _ in range(refs_per_proc):
+        for stream in streams:
+            try:
+                out.append(next(stream))
+            except StopIteration:
+                continue
+    return out
+
+
+class TraceWorkload(Workload):
+    """Replay a trace as per-processor streams.
+
+    References keep their recorded per-processor order; the global
+    interleaving during simulation is determined by timing, as with any
+    workload.
+    """
+
+    def __init__(self, refs: Sequence[MemRef]) -> None:
+        if not refs:
+            raise ValueError("empty trace")
+        self._by_pid: dict = {}
+        for ref in refs:
+            self._by_pid.setdefault(ref.pid, []).append(ref)
+        self.n_processors = max(self._by_pid) + 1
+        blocks = [r.block for r in refs]
+        self.n_blocks = max(blocks) + 1
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "TraceWorkload":
+        return cls(read_trace(path))
+
+    def stream(self, pid: int) -> Iterator[MemRef]:
+        return iter(self._by_pid.get(pid, []))
+
+    def refs_for(self, pid: int) -> List[MemRef]:
+        return list(self._by_pid.get(pid, []))

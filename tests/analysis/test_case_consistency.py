@@ -1,0 +1,79 @@
+"""The bridge between the paper's two analyses (§4.2 vs Table 4-2).
+
+``derive_sharing_case`` evaluates the Table 4-2 chain and repackages its
+state occupancies as §4.2 parameters.  These tests pin down what that
+bridge shows: the two published analyses are parameterized in different
+regimes (a documented reproduction finding, see EXPERIMENTS.md), yet the
+closed form evaluated at chain-derived parameters still tracks (n-1)·T_R
+within a small factor — "the two different methods of analysis agree
+well on the limitations of this scheme."
+"""
+
+import pytest
+
+from repro.analysis.dubois_briggs import DuboisBriggsModel, derive_sharing_case
+from repro.analysis.overhead_model import (
+    LOW_SHARING_CASE,
+    per_cache_overhead,
+)
+
+
+def test_derived_case_is_a_valid_probability_set():
+    case = derive_sharing_case(16, 0.05, 0.2)
+    total = case.p_p1 + case.p_pstar + case.p_pm
+    assert 0.0 <= total <= 1.0
+    assert 0.0 <= case.h <= 1.0
+
+
+def test_derived_pm_grows_with_write_fraction():
+    low_w = derive_sharing_case(16, 0.05, 0.1)
+    high_w = derive_sharing_case(16, 0.05, 0.4)
+    assert high_w.p_pm > low_w.p_pm
+    assert high_w.p_pstar < low_w.p_pstar
+
+
+def test_paper_assumptions_are_a_different_regime():
+    """The finding itself: §4.3 assumes mostly-Absent shared blocks
+    (P(P1)+P(P*)+P(PM) = 0.10 for low sharing) while the Table 4-2
+    chain keeps the hot 16-block pool almost always cached."""
+    derived = derive_sharing_case(16, 0.01, 0.25)
+    assumed_presence = (
+        LOW_SHARING_CASE.p_p1 + LOW_SHARING_CASE.p_pstar + LOW_SHARING_CASE.p_pm
+    )
+    derived_presence = derived.p_p1 + derived.p_pstar + derived.p_pm
+    assert assumed_presence < 0.2
+    assert derived_presence > 0.8
+
+
+def test_closed_form_upper_bounds_chain_with_structured_gap():
+    """Evaluating Table 4-1's formula at Table 4-2's parameters always
+    upper-bounds (n-1)·T_R, and the gap has a clean structure: the
+    closed form charges the worst-case n-1 recipients for every
+    Present* round where the chain counts the actual holders, so the
+    ratio grows roughly linearly in n (≈ n/3 here) and is nearly
+    independent of q."""
+    ratios = {}
+    for q in (0.01, 0.05, 0.10):
+        for n in (8, 16, 32):
+            w = 0.2
+            case = derive_sharing_case(n, q, w)
+            closed_form = per_cache_overhead(n, case, w)
+            chain = DuboisBriggsModel(n=n, q=q, w=w).two_bit_overhead()
+            assert chain > 0
+            ratios[(q, n)] = closed_form / chain
+            assert ratios[(q, n)] > 1.0, (q, n)  # a true upper bound
+    for q in (0.01, 0.05, 0.10):
+        growth = ratios[(q, 32)] / ratios[(q, 8)]
+        assert 2.5 < growth < 5.5, (q, growth)  # ~linear in n
+    # ...and nearly q-independent at fixed n.
+    for n in (8, 16, 32):
+        spread = ratios[(0.01, n)] / ratios[(0.10, n)]
+        assert 0.7 < spread < 1.5, n
+
+
+def test_derived_case_usable_in_thresholds():
+    from repro.analysis.thresholds import max_viable_processors
+
+    case = derive_sharing_case(16, 0.05, 0.2, name="chain-moderate")
+    result = max_viable_processors(case, w=0.2)
+    assert result.max_viable_n >= 4

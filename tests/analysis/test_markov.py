@@ -1,0 +1,91 @@
+"""Markov utilities: linear solve, stationary distributions, builder."""
+
+import pytest
+
+from repro.analysis.markov import (
+    ChainBuilder,
+    expectation,
+    solve_linear,
+    stationary_distribution,
+)
+
+
+def test_solve_linear_identity():
+    assert solve_linear([[1.0, 0.0], [0.0, 1.0]], [3.0, 4.0]) == [3.0, 4.0]
+
+
+def test_solve_linear_known_system():
+    x = solve_linear([[2.0, 1.0], [1.0, 3.0]], [5.0, 10.0])
+    assert x[0] == pytest.approx(1.0)
+    assert x[1] == pytest.approx(3.0)
+
+
+def test_solve_linear_singular_raises():
+    with pytest.raises(ValueError):
+        solve_linear([[1.0, 1.0], [2.0, 2.0]], [1.0, 2.0])
+
+
+def test_solve_linear_dimension_mismatch():
+    with pytest.raises(ValueError):
+        solve_linear([[1.0, 2.0]], [1.0])
+
+
+def test_stationary_two_state_chain():
+    # P(a->b)=0.5, P(b->a)=0.25: pi = (1/3, 2/3).
+    pi = stationary_distribution([[0.5, 0.5], [0.25, 0.75]])
+    assert pi[0] == pytest.approx(1 / 3)
+    assert pi[1] == pytest.approx(2 / 3)
+
+
+def test_stationary_requires_stochastic_rows():
+    with pytest.raises(ValueError):
+        stationary_distribution([[0.5, 0.4], [0.5, 0.5]])
+
+
+def test_stationary_absorbing_state():
+    pi = stationary_distribution([[0.9, 0.1], [0.0, 1.0]])
+    assert pi[1] == pytest.approx(1.0)
+
+
+def test_chain_builder_self_loops_absorb_residue():
+    chain = ChainBuilder(["a", "b"])
+    chain.add("a", "b", 0.3)
+    matrix = chain.matrix()
+    assert matrix[0] == [0.7, 0.3]
+    assert matrix[1] == [0.0, 1.0]
+
+
+def test_chain_builder_accumulates():
+    chain = ChainBuilder(["a", "b"])
+    chain.add("a", "b", 0.1)
+    chain.add("a", "b", 0.2)
+    assert chain.matrix()[0][1] == pytest.approx(0.3)
+
+
+def test_chain_builder_rejects_overflow():
+    chain = ChainBuilder(["a", "b"])
+    chain.add("a", "b", 1.2)
+    with pytest.raises(ValueError):
+        chain.matrix()
+
+
+def test_chain_builder_duplicate_states():
+    with pytest.raises(ValueError):
+        ChainBuilder(["a", "a"])
+
+
+def test_chain_builder_stationary_and_expectation():
+    chain = ChainBuilder(["hot", "cold"])
+    chain.add("hot", "cold", 0.5)
+    chain.add("cold", "hot", 0.25)
+    pi = chain.stationary()
+    assert pi["hot"] == pytest.approx(1 / 3)
+    assert expectation(pi, {"hot": 3.0}) == pytest.approx(1.0)
+
+
+def test_zero_probability_edges_ignored():
+    chain = ChainBuilder(["a"])
+    chain.add("a", "a", 0.0)
+    assert chain.matrix() == [[1.0]]
+    with pytest.raises(ValueError):
+        chain.add("a", "a", -0.1)

@@ -1,0 +1,63 @@
+"""M/D/1 controller-bottleneck model."""
+
+import pytest
+
+from repro.analysis.queueing import (
+    ControllerLoadModel,
+    md1_mean_response,
+    md1_mean_wait,
+    utilization,
+)
+
+
+def test_utilization():
+    assert utilization(0.05, 10) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        utilization(-1, 10)
+
+
+def test_md1_wait_known_value():
+    # rho = 0.5, s = 10: W = 0.5*10 / (2*0.5) = 5.
+    assert md1_mean_wait(0.05, 10) == pytest.approx(5.0)
+
+
+def test_md1_wait_vanishes_at_light_load():
+    assert md1_mean_wait(0.001, 10) < 0.06
+
+
+def test_md1_wait_explodes_near_saturation():
+    light = md1_mean_wait(0.05, 10)
+    heavy = md1_mean_wait(0.095, 10)
+    assert heavy > 15 * light
+
+
+def test_md1_unstable_rejected():
+    with pytest.raises(ValueError, match="unstable"):
+        md1_mean_wait(0.2, 10)
+
+
+def test_md1_response_includes_service():
+    assert md1_mean_response(0.05, 10) == pytest.approx(15.0)
+
+
+def test_controller_model_distribution():
+    central = ControllerLoadModel(requests_per_cycle=0.08, service_time=11)
+    assert central.utilization == pytest.approx(0.88)
+    assert central.stable
+    spread = central.distributed(4)
+    assert spread.utilization == pytest.approx(0.22)
+    # Distribution cuts the wait superlinearly (the §2.4.2 argument).
+    assert spread.mean_wait < central.mean_wait / 10
+
+
+def test_controller_model_instability_flagged():
+    model = ControllerLoadModel(requests_per_cycle=0.2, service_time=11)
+    assert not model.stable
+    with pytest.raises(ValueError):
+        _ = model.mean_wait
+    assert model.distributed(8).stable
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        ControllerLoadModel(0.1, 10).distributed(0)

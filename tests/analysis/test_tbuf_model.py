@@ -1,0 +1,61 @@
+"""Translation-buffer analytic model (§4.4)."""
+
+import pytest
+
+from repro.analysis.overhead_model import MODERATE_SHARING_CASE, per_cache_overhead
+from repro.analysis.translation_buffer_model import (
+    generate_tbuf_table,
+    lru_hit_ratio,
+    overhead_eliminated_fraction,
+    residual_overhead,
+    sweep_capacities,
+)
+
+
+def test_ninety_percent_claim():
+    """'90% hit ratio eliminates 90% of the added overhead'."""
+    base = per_cache_overhead(64, MODERATE_SHARING_CASE, 0.2)
+    assert residual_overhead(base, 0.9) == pytest.approx(0.1 * base)
+    assert overhead_eliminated_fraction(0.9) == 0.9
+
+
+def test_full_hit_ratio_equals_full_map():
+    assert residual_overhead(5.0, 1.0) == 0.0
+
+
+def test_zero_hit_ratio_is_unmodified_scheme():
+    assert residual_overhead(5.0, 0.0) == 5.0
+
+
+def test_lru_hit_ratio_uniform():
+    assert lru_hit_ratio(8, 16) == 0.5
+    assert lru_hit_ratio(32, 16) == 1.0
+    assert lru_hit_ratio(0, 16) == 0.0
+
+
+def test_sweep_monotone_in_capacity():
+    points = sweep_capacities(
+        MODERATE_SHARING_CASE, w=0.2, n=32, working_set=16,
+        capacities=(0, 4, 8, 16, 32),
+    )
+    residuals = [p.residual for p in points]
+    assert residuals == sorted(residuals, reverse=True)
+    assert points[-1].residual == 0.0
+    assert points[0].eliminated == 0.0
+    assert points[2].eliminated == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        residual_overhead(1.0, 1.5)
+    with pytest.raises(ValueError):
+        residual_overhead(-1.0, 0.5)
+    with pytest.raises(ValueError):
+        lru_hit_ratio(-1, 4)
+    with pytest.raises(ValueError):
+        overhead_eliminated_fraction(2.0)
+
+
+def test_table_rows():
+    text = generate_tbuf_table(MODERATE_SHARING_CASE, w=0.2).render()
+    assert "0.90" in text and "n=64" in text

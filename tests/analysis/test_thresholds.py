@@ -1,0 +1,64 @@
+"""§4.3 viability thresholds."""
+
+import pytest
+
+from repro.analysis.overhead_model import (
+    HIGH_SHARING_CASE,
+    LOW_SHARING_CASE,
+    MODERATE_SHARING_CASE,
+    per_cache_overhead,
+)
+from repro.analysis.thresholds import (
+    PAPER_CONCLUSIONS,
+    generate_threshold_table,
+    max_viable_processors,
+    paper_viability_conclusions,
+)
+
+
+def test_paper_conclusions_reproduce():
+    results = paper_viability_conclusions()
+    for name, expected in PAPER_CONCLUSIONS.items():
+        assert results[name].max_viable_n == expected, name
+
+
+def test_low_sharing_viable_to_64():
+    result = max_viable_processors(LOW_SHARING_CASE, w=0.2, candidates=(4, 8, 16, 32, 64))
+    assert result.max_viable_n == 64
+    assert result.overhead_at_max <= 1.0
+
+
+def test_high_sharing_capped_at_8():
+    for w in (0.1, 0.2, 0.3, 0.4):
+        result = max_viable_processors(
+            HIGH_SHARING_CASE, w=w, candidates=(4, 8, 16, 32, 64)
+        )
+        assert result.max_viable_n == 8
+
+
+def test_threshold_is_a_crossover():
+    result = max_viable_processors(
+        MODERATE_SHARING_CASE, w=0.2, candidates=(4, 8, 16, 32, 64)
+    )
+    n = result.max_viable_n
+    assert per_cache_overhead(n, MODERATE_SHARING_CASE, 0.2) <= 1.0
+    assert per_cache_overhead(n * 2, MODERATE_SHARING_CASE, 0.2) > 1.0
+
+
+def test_zero_when_nothing_viable():
+    result = max_viable_processors(
+        HIGH_SHARING_CASE, w=0.4, threshold=0.01, candidates=(4, 8)
+    )
+    assert result.max_viable_n == 0
+
+
+def test_tighter_threshold_shrinks_viability():
+    loose = max_viable_processors(MODERATE_SHARING_CASE, 0.2, threshold=1.0)
+    tight = max_viable_processors(MODERATE_SHARING_CASE, 0.2, threshold=0.1)
+    assert tight.max_viable_n < loose.max_viable_n
+
+
+def test_table_contains_paper_column():
+    text = generate_threshold_table().render()
+    assert "paper says" in text
+    assert "64" in text and "16" in text and "8" in text

@@ -1,0 +1,62 @@
+"""§4.3 stolen-cycle hiding model."""
+
+import pytest
+
+from repro.analysis.overhead_model import MODERATE_SHARING_CASE, per_cache_overhead
+from repro.analysis.utilization import (
+    acceptable,
+    generate_slowdown_table,
+    measured_utilization,
+    slowdown,
+)
+
+from tests.conftest import uniform_machine
+
+
+def test_slowdown_formula():
+    # One stolen cycle per reference, cache busy half the time: the
+    # paper's "much of the overhead ... can be hidden" => 0.5 cycles.
+    assert slowdown(1.0, 0.5) == pytest.approx(0.5)
+    assert slowdown(1.0, 0.0) == 0.0  # fully idle cache hides everything
+    assert slowdown(2.0, 1.0, cycles_per_ref=4) == pytest.approx(0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        slowdown(-1, 0.5)
+    with pytest.raises(ValueError):
+        slowdown(1, 1.5)
+    with pytest.raises(ValueError):
+        slowdown(1, 0.5, cycles_per_ref=0)
+
+
+def test_acceptability_matches_paper_boundary():
+    # (n-1)T_SUM = 1.0 at 50% busy -> exactly the budget.
+    assert acceptable(1.0)
+    assert not acceptable(1.2)
+    # A busier cache tolerates less overhead.
+    assert not acceptable(1.0, cache_busy_fraction=0.8)
+
+
+def test_table_shape():
+    text = generate_slowdown_table().render()
+    assert "low" in text and "n=64" in text
+    # The high-sharing 64-processor cell is far past acceptable.
+    overhead = per_cache_overhead(64, MODERATE_SHARING_CASE, 0.2)
+    assert slowdown(overhead, 0.5) > 1.0
+
+
+def test_measured_hiding_on_a_real_run():
+    """The simulator's occupancy model realizes the hiding argument:
+    most stolen cycles never delay the processor."""
+    machine = uniform_machine("twobit", n=8, n_blocks=8, refs=1200, seed=3)
+    util = measured_utilization(machine.results())
+    assert util.stolen_per_ref > 0.2  # real snoop pressure
+    assert util.hidden_fraction > 0.5  # most of it hidden, as §4.3 argues
+
+
+def test_hidden_fraction_edge_cases():
+    from repro.analysis.utilization import MeasuredUtilization
+
+    assert MeasuredUtilization(0.0, 0.0).hidden_fraction == 1.0
+    assert MeasuredUtilization(1.0, 2.0).hidden_fraction == 0.0

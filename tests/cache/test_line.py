@@ -1,0 +1,35 @@
+"""Cache line state."""
+
+from repro.cache.line import CacheLine, LocalState
+
+
+def test_fresh_line_invalid():
+    line = CacheLine()
+    assert not line.valid and not line.modified
+    assert line.block is None
+
+
+def test_fill_sets_state():
+    line = CacheLine()
+    line.fill(7, version=4, modified=True)
+    assert line.valid and line.modified
+    assert line.block == 7 and line.version == 4
+    assert line.local is LocalState.NONE
+
+
+def test_fill_clears_previous_local_state():
+    line = CacheLine()
+    line.fill(1, 1)
+    line.local = LocalState.EXCLUSIVE
+    line.fill(2, 2)
+    assert line.local is LocalState.NONE
+
+
+def test_reset_clears_everything():
+    line = CacheLine()
+    line.fill(7, 4, modified=True)
+    line.local = LocalState.RESERVED
+    line.reset()
+    assert not line.valid and not line.modified
+    assert line.block is None and line.version == 0
+    assert line.local is LocalState.NONE

@@ -1,0 +1,87 @@
+"""Replacement policies."""
+
+import pytest
+
+from repro.cache.line import CacheLine
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    available_policies,
+    make_policy,
+)
+
+
+def lines(n):
+    return [CacheLine() for _ in range(n)]
+
+
+def fill_all(ls, start_time=1):
+    for i, line in enumerate(ls):
+        line.fill(block=i, version=0)
+        line.last_use = start_time + i
+
+
+def test_all_policies_prefer_invalid_frames():
+    for name in available_policies():
+        policy = make_policy(name)
+        ls = lines(4)
+        ls[0].fill(0, 0)
+        ls[2].fill(2, 0)
+        victim = policy.victim(ls, now=10)
+        assert victim in (1, 3), name
+
+
+def test_lru_evicts_least_recently_used():
+    policy = LRUPolicy()
+    ls = lines(3)
+    fill_all(ls)
+    policy.touch(ls[0], now=50)  # 0 is now most recent
+    assert policy.victim(ls, now=51) == 1
+
+
+def test_lru_touch_updates_order():
+    policy = LRUPolicy()
+    ls = lines(2)
+    fill_all(ls)
+    policy.touch(ls[0], 10)
+    policy.touch(ls[1], 11)
+    policy.touch(ls[0], 12)
+    assert policy.victim(ls, 13) == 1
+
+
+def test_fifo_ignores_hits():
+    policy = FIFOPolicy()
+    ls = lines(2)
+    ls[0].fill(0, 0)
+    policy.stamp_fill(ls[0], 1)
+    ls[1].fill(1, 0)
+    policy.stamp_fill(ls[1], 2)
+    # "Hit" on line 0 repeatedly; FIFO age must not refresh.
+    policy.touch(ls[0], 99)
+    assert policy.victim(ls, 100) == 0
+
+
+def test_random_is_deterministic_per_seed():
+    ls = lines(8)
+    fill_all(ls)
+    a = [RandomPolicy(seed=5).victim(ls, 0) for _ in range(5)]
+    b = [RandomPolicy(seed=5).victim(ls, 0) for _ in range(5)]
+    assert a == b
+
+
+def test_random_covers_multiple_victims():
+    policy = RandomPolicy(seed=1)
+    ls = lines(4)
+    fill_all(ls)
+    victims = {policy.victim(ls, 0) for _ in range(64)}
+    assert len(victims) > 1
+
+
+def test_make_policy_unknown_name():
+    with pytest.raises(ValueError, match="unknown replacement"):
+        make_policy("mru")
+
+
+def test_available_policies():
+    assert set(available_policies()) == {"lru", "fifo", "random"}

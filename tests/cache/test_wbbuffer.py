@@ -1,0 +1,49 @@
+"""Write-back buffer."""
+
+import pytest
+
+from repro.cache.wbbuffer import WriteBackBuffer
+
+
+def test_insert_get_release():
+    buf = WriteBackBuffer()
+    entry = buf.insert(3, version=9)
+    assert 3 in buf and len(buf) == 1
+    assert buf.get(3) is entry
+    released = buf.release(3)
+    assert released.version == 9
+    assert 3 not in buf
+
+
+def test_duplicate_insert_rejected():
+    buf = WriteBackBuffer()
+    buf.insert(1, 1)
+    with pytest.raises(ValueError):
+        buf.insert(1, 2)
+
+
+def test_supersede_marks_entry():
+    buf = WriteBackBuffer()
+    buf.insert(1, 5)
+    entry = buf.supersede(1)
+    assert entry.superseded
+    assert buf.get(1).superseded
+
+
+def test_capacity_enforced():
+    buf = WriteBackBuffer(capacity=1)
+    buf.insert(0, 1)
+    assert buf.full
+    with pytest.raises(OverflowError):
+        buf.insert(1, 1)
+
+
+def test_blocks_sorted():
+    buf = WriteBackBuffer()
+    buf.insert(5, 1)
+    buf.insert(2, 1)
+    assert buf.blocks() == [2, 5]
+
+
+def test_get_missing_returns_none():
+    assert WriteBackBuffer().get(9) is None

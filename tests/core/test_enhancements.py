@@ -1,0 +1,120 @@
+"""§4.4 enhancements: duplicate directory and translation buffer."""
+
+import pytest
+
+from repro.config import ProtocolOptions
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def test_duplicate_directory_filters_absent_snoops():
+    machine = scripted_machine(
+        [[], [], [], []],
+        n_modules=1,
+        options=ProtocolOptions(duplicate_directory=True),
+    )
+    read(machine, 0, 1)
+    read(machine, 1, 1)
+    write(machine, 0, 1)  # BROADINV: useful at cache1, filtered at 2 and 3
+    filtered = sum(
+        c.counters["snoops_filtered_by_dup_directory"] for c in machine.caches
+    )
+    stolen = sum(c.counters["stolen_cycles"] for c in machine.caches)
+    assert filtered == 2
+    assert stolen == 1  # only the cache holding a copy lost a cycle
+    assert_clean_audit(machine)
+
+
+def test_duplicate_directory_reduces_stolen_cycles_not_traffic():
+    base = uniform_machine("twobit", n=4, seed=21)
+    enhanced = uniform_machine(
+        "twobit", n=4, seed=21, options=ProtocolOptions(duplicate_directory=True)
+    )
+    rb, re = base.results(), enhanced.results()
+    # §4.4: "this alternative does nothing to reduce the ... bus traffic".
+    # (Timing feedback perturbs interleavings slightly; the command rate
+    # must stay essentially unchanged, not drop.)
+    assert re.commands_per_ref == pytest.approx(rb.commands_per_ref, rel=0.05)
+    assert re.stolen_cycles_per_ref < rb.stolen_cycles_per_ref
+    # From the cache's viewpoint it equals the full map: stolen cycles
+    # only for blocks actually present.
+    useless_stolen = sum(
+        c.counters["snoops_filtered_by_dup_directory"] for c in enhanced.caches
+    )
+    assert useless_stolen > 0
+
+
+def test_translation_buffer_converts_broadcasts_to_selective():
+    machine = scripted_machine(
+        [[], [], [], []],
+        n_modules=1,
+        options=ProtocolOptions(translation_buffer_entries=16),
+    )
+    read(machine, 0, 1)
+    read(machine, 1, 1)
+    write(machine, 0, 1)  # owners known: selective INVALIDATE to cache1 only
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["selective_invalidations"] == 1
+    assert ctrl.counters["broadinv_sent"] == 0
+    useless = sum(c.counters["broadcast_useless"] for c in machine.caches)
+    assert useless == 0
+    assert_clean_audit(machine)
+
+
+def test_translation_buffer_purges_selectively():
+    machine = scripted_machine(
+        [[], []],
+        options=ProtocolOptions(translation_buffer_entries=16),
+    )
+    write(machine, 0, 2)
+    read(machine, 1, 2)  # purge the known owner, no broadcast
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["selective_purges"] == 1
+    assert ctrl.counters["broadquery_sent"] == 0
+    assert_clean_audit(machine)
+
+
+def test_translation_buffer_eliminates_overhead_in_proportion():
+    """The paper's 90%-hit-ratio claim, via forced-hit mode."""
+    base = uniform_machine("twobit", n=4, seed=33, refs=1200)
+    forced = uniform_machine(
+        "twobit",
+        n=4,
+        seed=33,
+        refs=1200,
+        options=ProtocolOptions(tbuf_forced_hit_ratio=0.9),
+    )
+    rb, rf = base.results(), forced.results()
+    assert rb.extra_commands_per_ref > 0
+    reduction = 1 - rf.extra_commands_per_ref / rb.extra_commands_per_ref
+    # ~90% of the broadcast overhead should vanish (sampling noise allowed).
+    assert 0.80 < reduction <= 1.0
+    stats = forced.translation_buffer_stats()
+    assert 0.85 < stats["hit_ratio"] < 0.95
+
+
+def test_translation_buffer_capacity_zero_is_pure_broadcast():
+    machine = uniform_machine("twobit", n=4, seed=33, refs=300)
+    for ctrl in machine.controllers:
+        assert ctrl.counters["selective_invalidations"] == 0
+        assert ctrl.counters["selective_purges"] == 0
+
+
+def test_small_buffer_still_sound_under_pressure():
+    machine = uniform_machine(
+        "twobit",
+        n=4,
+        n_blocks=16,
+        seed=9,
+        refs=1500,
+        options=ProtocolOptions(translation_buffer_entries=2),
+    )
+    stats = machine.translation_buffer_stats()
+    assert stats["misses"] > 0  # capacity pressure produced broadcasts
+    assert_clean_audit(machine)

@@ -1,0 +1,257 @@
+"""The §3.2 protocol flows, scripted step by step on a 2-processor
+two-bit machine (1 module, xbar)."""
+
+import pytest
+
+from repro.config import ProtocolOptions
+from repro.core.states import GlobalState
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    write,
+)
+
+
+def fresh(**overrides):
+    return scripted_machine([[], []], **overrides)
+
+
+def ctrl(machine):
+    return machine.controllers[0]
+
+
+def state(machine, block):
+    return ctrl(machine).directory.state(block)
+
+
+def snoops(machine, pid):
+    return machine.caches[pid].counters["snoop_commands"]
+
+
+# ----------------------------------------------------------------------
+# §3.2.2 read miss
+# ----------------------------------------------------------------------
+def test_read_miss_absent_goes_present1():
+    machine = fresh()
+    result = read(machine, 0, 3)
+    assert not result.hit and result.version == 0
+    assert state(machine, 3) is GlobalState.PRESENT1
+    assert ctrl(machine).counters["broadquery_sent"] == 0
+    assert_clean_audit(machine)
+
+
+def test_second_reader_goes_present_star():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    assert state(machine, 3) is GlobalState.PRESENT_STAR
+    # Memory served both: no broadcasts at all.
+    assert ctrl(machine).counters["broadquery_sent"] == 0
+    assert ctrl(machine).counters["broadinv_sent"] == 0
+    assert_clean_audit(machine)
+
+
+def test_read_miss_on_presentm_queries_owner():
+    machine = fresh()
+    write(machine, 0, 3)
+    assert state(machine, 3) is GlobalState.PRESENTM
+    result = read(machine, 1, 3)
+    assert ctrl(machine).counters["broadquery_sent"] == 1
+    # Default resolution (DESIGN.md #1): owner keeps a clean copy.
+    assert state(machine, 3) is GlobalState.PRESENT_STAR
+    owner_line = machine.caches[0].holds(3)
+    assert owner_line is not None and not owner_line.modified
+    # The reader got the owner's written version, not stale memory.
+    assert result.version == machine.oracle.latest_version(3)
+    assert_clean_audit(machine)
+
+
+def test_read_miss_on_presentm_paper_literal_mode():
+    machine = fresh(
+        options=ProtocolOptions(owner_invalidates_on_read_query=True)
+    )
+    write(machine, 0, 3)
+    read(machine, 1, 3)
+    # Paper-literal §3.2.2 case 2: owner invalidates, state Present1.
+    assert state(machine, 3) is GlobalState.PRESENT1
+    assert machine.caches[0].holds(3) is None
+    assert_clean_audit(machine)
+
+
+def test_read_query_writes_back_to_memory():
+    machine = fresh()
+    result = write(machine, 0, 3)
+    read(machine, 1, 3)
+    assert machine.modules[0].peek(3) == result.version
+
+
+# ----------------------------------------------------------------------
+# §3.2.3 write miss
+# ----------------------------------------------------------------------
+def test_write_miss_absent_goes_presentm():
+    machine = fresh()
+    result = write(machine, 0, 2)
+    assert not result.hit
+    assert state(machine, 2) is GlobalState.PRESENTM
+    line = machine.caches[0].holds(2)
+    assert line is not None and line.modified
+    assert ctrl(machine).counters["broadinv_sent"] == 0
+    assert_clean_audit(machine)
+
+
+def test_write_miss_on_shared_broadcasts_invalidation():
+    machine = fresh()
+    read(machine, 0, 2)
+    read(machine, 1, 2)  # Present*
+    write(machine, 1, 5)  # unrelated, keeps things honest
+    before = ctrl(machine).counters["broadinv_sent"]
+    # P1 misses (its copy of 2 is clean but this is a *write* by P1 who
+    # already holds it... use a third block pattern instead): P0 holds 2,
+    # P1 holds 2; evict P1's copy first via conflict? Simpler: P1 writes
+    # block 2 — that's a write hit (MREQUEST), not a miss.  Make P1 drop
+    # its copy by invalidation from P0's write instead.
+    write(machine, 0, 2)  # write hit unmodified -> MREQUEST path
+    assert ctrl(machine).counters["broadinv_sent"] == before + 1
+    # Now P1 write-misses on block 2 (its copy was invalidated).
+    assert machine.caches[1].holds(2) is None
+    write(machine, 1, 2)
+    assert state(machine, 2) is GlobalState.PRESENTM
+    line = machine.caches[1].holds(2)
+    assert line is not None and line.modified
+    assert_clean_audit(machine)
+
+
+def test_write_miss_on_presentm_purges_owner():
+    machine = fresh()
+    v0 = write(machine, 0, 4).version
+    result = write(machine, 1, 4)
+    assert ctrl(machine).counters["broadquery_sent"] == 1
+    assert state(machine, 4) is GlobalState.PRESENTM
+    assert machine.caches[0].holds(4) is None  # old owner invalidated
+    assert result.version > v0
+    # The purged version reached memory before being overwritten locally.
+    assert machine.modules[0].peek(4) == v0
+    assert_clean_audit(machine)
+
+
+# ----------------------------------------------------------------------
+# §3.2.4 write hit on previously unmodified block
+# ----------------------------------------------------------------------
+def test_write_hit_present1_granted_without_broadcast():
+    machine = fresh()
+    read(machine, 0, 6)
+    result = write(machine, 0, 6)
+    assert result.hit
+    assert ctrl(machine).counters["mreq_granted_present1"] == 1
+    assert ctrl(machine).counters["broadinv_sent"] == 0
+    assert state(machine, 6) is GlobalState.PRESENTM
+    assert_clean_audit(machine)
+
+
+def test_write_hit_present_star_broadcasts():
+    machine = fresh()
+    read(machine, 0, 6)
+    read(machine, 1, 6)
+    write(machine, 0, 6)
+    assert ctrl(machine).counters["broadinv_sent"] == 1
+    assert machine.caches[1].holds(6) is None
+    assert state(machine, 6) is GlobalState.PRESENTM
+    assert_clean_audit(machine)
+
+
+def test_write_hit_modified_is_local():
+    machine = fresh()
+    write(machine, 0, 6)
+    transactions = ctrl(machine).counters["transactions"]
+    result = write(machine, 0, 6)
+    assert result.hit
+    assert ctrl(machine).counters["transactions"] == transactions
+    assert result.latency <= machine.config.timing.cache_cycle
+    assert_clean_audit(machine)
+
+
+def test_without_present1_every_first_write_broadcasts():
+    machine = fresh(options=ProtocolOptions(keep_present1=False))
+    read(machine, 0, 6)
+    assert state(machine, 6) is GlobalState.PRESENT_STAR
+    write(machine, 0, 6)
+    # No Present1 encoding: the sole owner still costs a broadcast
+    # (the §3.2.1 note's trade-off).
+    assert ctrl(machine).counters["broadinv_sent"] == 1
+    assert_clean_audit(machine)
+
+
+# ----------------------------------------------------------------------
+# §3.2.1 replacement
+# ----------------------------------------------------------------------
+def test_clean_eject_from_present1_goes_absent():
+    machine = fresh()
+    read(machine, 0, 0)
+    assert state(machine, 0) is GlobalState.PRESENT1
+    # Blocks 0, 2, 4, 6 share set 0 (2 sets, 2 ways): two more fills
+    # evict block 0.
+    read(machine, 0, 2)
+    read(machine, 0, 4)
+    assert machine.caches[0].holds(0) is None
+    assert state(machine, 0) is GlobalState.ABSENT
+    assert ctrl(machine).counters["eject_present1_to_absent"] == 1
+    assert_clean_audit(machine)
+
+
+def test_clean_eject_from_present_star_stays():
+    machine = fresh()
+    read(machine, 0, 0)
+    read(machine, 1, 0)
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts P0's copy of 0
+    assert machine.caches[0].holds(0) is None
+    assert state(machine, 0) is GlobalState.PRESENT_STAR
+    assert_clean_audit(machine)
+
+
+def test_dirty_eject_writes_back():
+    machine = fresh()
+    v = write(machine, 0, 0).version
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts dirty block 0
+    assert state(machine, 0) is GlobalState.ABSENT
+    assert machine.modules[0].peek(0) == v
+    assert ctrl(machine).counters["writebacks_absorbed"] == 1
+    assert_clean_audit(machine)
+
+
+def test_reread_after_dirty_eject_returns_written_value():
+    machine = fresh()
+    v = write(machine, 0, 0).version
+    read(machine, 0, 2)
+    read(machine, 0, 4)
+    result = read(machine, 1, 0)
+    assert result.version == v
+
+
+# ----------------------------------------------------------------------
+# Overhead accounting (the paper's metric)
+# ----------------------------------------------------------------------
+def test_useless_broadcast_commands_counted():
+    machine = scripted_machine([[], [], [], []], n_modules=1)
+    read(machine, 0, 1)
+    read(machine, 1, 1)  # Present*
+    write(machine, 0, 1)  # BROADINV to caches 1,2,3: useful at 1, useless at 2,3
+    useless = sum(c.counters["broadcast_useless"] for c in machine.caches)
+    useful = sum(c.counters["snoop_useful"] for c in machine.caches)
+    assert useless == 2
+    assert useful == 1
+    assert_clean_audit(machine)
+
+
+def test_fullmap_sends_no_useless_commands():
+    machine = scripted_machine([[], [], [], []], n_modules=1, protocol="fullmap")
+    read(machine, 0, 1)
+    read(machine, 1, 1)
+    write(machine, 0, 1)
+    useless = sum(c.counters["snoop_useless"] for c in machine.caches)
+    assert useless == 0
+    assert machine.caches[1].holds(1) is None
+    assert_clean_audit(machine)

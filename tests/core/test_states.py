@@ -1,0 +1,104 @@
+"""Two-bit directory map: encoding, transitions, time-in-state."""
+
+import pytest
+
+from repro.core.states import GlobalState, TwoBitDirectory
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def test_four_states_fit_in_two_bits():
+    encodings = {state.bits for state in GlobalState}
+    assert len(encodings) == 4
+    assert all(len(bits) == 2 for bits in encodings)
+
+
+def test_initial_state_absent():
+    directory = TwoBitDirectory(blocks=range(4))
+    assert directory.state(0) is GlobalState.ABSENT
+    assert len(directory) == 4
+    assert 3 in directory and 4 not in directory
+
+
+def test_set_state_and_transition_count():
+    directory = TwoBitDirectory(blocks=range(2))
+    directory.set_state(0, GlobalState.PRESENT1)
+    directory.set_state(0, GlobalState.PRESENT1)  # no-op transition
+    directory.set_state(0, GlobalState.PRESENTM)
+    assert directory.state(0) is GlobalState.PRESENTM
+    assert directory.transitions == 2
+
+
+def test_keep_present1_off_collapses_to_star():
+    directory = TwoBitDirectory(blocks=range(1), keep_present1=False)
+    stored = directory.set_state(0, GlobalState.PRESENT1)
+    assert stored is GlobalState.PRESENT_STAR
+    assert directory.state(0) is GlobalState.PRESENT_STAR
+
+
+def test_unknown_block_rejected():
+    directory = TwoBitDirectory(blocks=[0])
+    with pytest.raises(KeyError):
+        directory.state(9)
+    with pytest.raises(KeyError):
+        directory.set_state(9, GlobalState.ABSENT)
+
+
+def test_time_in_state_occupancy():
+    clock = Clock()
+    directory = TwoBitDirectory(blocks=[0], clock=clock)
+    clock.now = 10
+    directory.set_state(0, GlobalState.PRESENTM)  # absent for 10 cycles
+    clock.now = 40
+    directory.close_window()  # presentM for 30 cycles
+    occ = directory.occupancy()
+    assert occ[GlobalState.ABSENT] == pytest.approx(0.25)
+    assert occ[GlobalState.PRESENTM] == pytest.approx(0.75)
+
+
+def test_occupancy_over_block_subset():
+    clock = Clock()
+    directory = TwoBitDirectory(blocks=[0, 1], clock=clock)
+    clock.now = 10
+    directory.set_state(1, GlobalState.PRESENT1)
+    clock.now = 20
+    directory.close_window()
+    occ = directory.occupancy(blocks=[1])
+    assert occ[GlobalState.PRESENT1] == pytest.approx(0.5)
+    # Foreign blocks silently ignored in the subset.
+    assert directory.occupancy(blocks=[1, 99])[GlobalState.PRESENT1] == pytest.approx(0.5)
+
+
+def test_reset_window():
+    clock = Clock()
+    directory = TwoBitDirectory(blocks=[0], clock=clock)
+    clock.now = 100
+    directory.reset_window()
+    clock.now = 110
+    directory.close_window()
+    occ = directory.occupancy()
+    assert occ[GlobalState.ABSENT] == pytest.approx(1.0)
+
+
+def test_occupancy_empty_window():
+    directory = TwoBitDirectory(blocks=[0])
+    assert all(v == 0.0 for v in directory.occupancy().values())
+
+
+def test_histogram():
+    directory = TwoBitDirectory(blocks=range(3))
+    directory.set_state(0, GlobalState.PRESENTM)
+    hist = directory.histogram()
+    assert hist[GlobalState.PRESENTM] == 1
+    assert hist[GlobalState.ABSENT] == 2
+
+
+def test_storage_is_two_bits_per_block():
+    directory = TwoBitDirectory(blocks=range(128))
+    assert directory.storage_bits == 256

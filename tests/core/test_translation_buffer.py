@@ -1,0 +1,82 @@
+"""Translation buffer (§4.4 enhancement 2)."""
+
+from repro.core.translation_buffer import TranslationBuffer
+
+
+def test_disabled_when_zero_capacity():
+    tbuf = TranslationBuffer(capacity=0)
+    assert not tbuf.enabled
+    tbuf.establish(1, {0})
+    assert tbuf.lookup(1) is None
+
+
+def test_establish_and_lookup():
+    tbuf = TranslationBuffer(capacity=4)
+    tbuf.establish(1, {0, 2})
+    assert tbuf.lookup(1) == {0, 2}
+    assert tbuf.hits == 1
+
+
+def test_lookup_returns_copy():
+    tbuf = TranslationBuffer(capacity=4)
+    tbuf.establish(1, {0})
+    owners = tbuf.lookup(1)
+    owners.add(9)
+    assert tbuf.peek(1) == {0}
+
+
+def test_miss_counted():
+    tbuf = TranslationBuffer(capacity=4)
+    assert tbuf.lookup(5) is None
+    assert tbuf.misses == 1
+    assert tbuf.hit_ratio == 0.0
+
+
+def test_incremental_updates_only_on_tracked_blocks():
+    tbuf = TranslationBuffer(capacity=4)
+    tbuf.add_owner(3, 1)  # untracked: ignored
+    assert 3 not in tbuf
+    tbuf.establish(3, {0})
+    tbuf.add_owner(3, 1)
+    tbuf.drop_owner(3, 0)
+    assert tbuf.peek(3) == {1}
+
+
+def test_lru_eviction_at_capacity():
+    tbuf = TranslationBuffer(capacity=2)
+    tbuf.establish(1, {0})
+    tbuf.establish(2, {0})
+    tbuf.lookup(1)  # 1 most recent
+    tbuf.establish(3, {0})  # evicts 2
+    assert 2 not in tbuf
+    assert 1 in tbuf and 3 in tbuf
+    assert tbuf.evictions == 1
+
+
+def test_invalidate_forgets():
+    tbuf = TranslationBuffer(capacity=4)
+    tbuf.establish(1, {0})
+    tbuf.invalidate(1)
+    assert tbuf.lookup(1) is None
+
+
+def test_forced_mode_hit_ratio():
+    tbuf = TranslationBuffer(capacity=0, forced_hit_ratio=0.7, seed=3)
+    assert tbuf.enabled
+    hits = sum(tbuf.forced_hit() for _ in range(4000))
+    assert 0.66 < hits / 4000 < 0.74
+    assert abs(tbuf.hit_ratio - hits / 4000) < 1e-9
+
+
+def test_forced_mode_lookup_never_hits():
+    tbuf = TranslationBuffer(capacity=8, forced_hit_ratio=1.0)
+    tbuf.establish(1, {0})
+    assert tbuf.lookup(1) is None
+
+
+def test_hit_ratio_mixture():
+    tbuf = TranslationBuffer(capacity=4)
+    tbuf.establish(1, {0})
+    tbuf.lookup(1)
+    tbuf.lookup(2)
+    assert tbuf.hit_ratio == 0.5

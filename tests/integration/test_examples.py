@@ -1,0 +1,59 @@
+"""Smoke-run the shipped examples (the quickest-to-rot artifacts)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+#: Fast examples run whole; the sweep-style ones are exercised by the
+#: benchmarks that share their code paths and would only slow the suite.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "trace_driven.py",
+    "verification_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_clean_audit():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "coherence audit: CLEAN" in result.stdout
+
+
+def test_verification_demo_shows_a_violation():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "verification_demo.py")],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert "oracle violations recorded" in result.stdout
+    assert "requires >= v" in result.stdout
+
+
+def test_all_examples_present_and_documented():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = (EXAMPLES / script).read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script
+        assert '"""' in text.split("\n", 2)[1], script  # module docstring

@@ -1,0 +1,121 @@
+"""Every protocol on every compatible network, under contention, with a
+full quiescent audit.  The grid that shook out the protocol races during
+development, kept as the permanent safety net."""
+
+import pytest
+
+from repro.config import MachineConfig, ProtocolOptions
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload, UniformWorkload
+
+MATRIX = [
+    ("twobit", "xbar"),
+    ("twobit", "bus"),
+    ("twobit", "delta"),
+    ("fullmap", "xbar"),
+    ("fullmap", "delta"),
+    ("fullmap_local", "xbar"),
+    ("fullmap_local", "delta"),
+    ("twobit_wt", "xbar"),
+    ("twobit_wt", "delta"),
+    ("classical", "xbar"),
+    ("classical", "bus"),
+    ("classical", "delta"),
+    ("static", "xbar"),
+    ("write_once", "bus"),
+    ("illinois", "bus"),
+]
+
+
+@pytest.mark.parametrize("protocol,network", MATRIX)
+def test_hammer_workload_audits_clean(protocol, network):
+    workload = UniformWorkload(
+        n_processors=4, n_blocks=8, write_frac=0.5, seed=42
+    )
+    config = MachineConfig(
+        n_processors=4,
+        n_modules=2,
+        n_blocks=8,
+        cache_sets=2,
+        cache_assoc=2,
+        protocol=protocol,
+        network=network,
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=600)
+    audit_machine(machine).raise_if_failed()
+    assert machine.oracle.reads_checked > 0
+    assert machine.oracle.writes_committed > 0
+
+
+@pytest.mark.parametrize("protocol,network", MATRIX)
+def test_paper_style_workload_audits_clean(protocol, network):
+    workload = DuboisBriggsWorkload(
+        n_processors=4, q=0.10, w=0.3, private_blocks_per_proc=64, seed=43
+    )
+    config = MachineConfig(
+        n_processors=4,
+        n_modules=2,
+        n_blocks=workload.n_blocks,
+        protocol=protocol,
+        network=network,
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=600)
+    audit_machine(machine).raise_if_failed()
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        ProtocolOptions(serialization="global"),
+        ProtocolOptions(keep_present1=False),
+        ProtocolOptions(owner_invalidates_on_read_query=True),
+        ProtocolOptions(scrub_queued_mrequests=False),
+        ProtocolOptions(duplicate_directory=True),
+        ProtocolOptions(translation_buffer_entries=8),
+        ProtocolOptions(tbuf_forced_hit_ratio=0.9),
+        ProtocolOptions(
+            owner_invalidates_on_read_query=True,
+            keep_present1=False,
+            serialization="global",
+        ),
+    ],
+    ids=lambda o: ",".join(
+        f"{k}={v}"
+        for k, v in vars(o).items()
+        if v != getattr(ProtocolOptions(), k)
+    ) or "defaults",
+)
+def test_twobit_option_variants_audit_clean(options):
+    workload = UniformWorkload(n_processors=8, n_blocks=8, write_frac=0.5, seed=5)
+    config = MachineConfig(
+        n_processors=8,
+        n_modules=2,
+        n_blocks=8,
+        cache_sets=2,
+        cache_assoc=2,
+        protocol="twobit",
+        options=options,
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=700)
+    audit_machine(machine).raise_if_failed()
+
+
+def test_identical_seeds_are_reproducible():
+    def run():
+        workload = UniformWorkload(n_processors=4, n_blocks=8, seed=77)
+        config = MachineConfig(
+            n_processors=4, n_modules=2, n_blocks=8, cache_sets=2,
+            cache_assoc=2, seed=77,
+        )
+        machine = build_machine(config, workload)
+        machine.run(refs_per_proc=400)
+        return machine.results()
+
+    a, b = run(), run()
+    assert a.cycles == b.cycles
+    assert a.extra_commands_per_ref == b.extra_commands_per_ref
+    assert a.totals == b.totals

@@ -1,0 +1,126 @@
+"""End-to-end behaviour of the two-bit scheme vs its baselines on the
+paper's own workload model — the qualitative claims of §4."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+
+def run_machine(protocol, n=4, q=0.05, w=0.2, seed=3, refs=1500, network=None):
+    workload = DuboisBriggsWorkload(
+        n_processors=n, q=q, w=w, private_blocks_per_proc=128, seed=seed
+    )
+    if network is None:
+        network = "bus" if protocol in ("write_once", "illinois") else "xbar"
+    config = MachineConfig(
+        n_processors=n,
+        n_modules=2,
+        n_blocks=workload.n_blocks,
+        protocol=protocol,
+        network=network,
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=refs, warmup_refs=300)
+    audit_machine(machine).raise_if_failed()
+    return machine
+
+
+def test_two_bit_overhead_grows_with_sharing():
+    low = run_machine("twobit", q=0.01).results().extra_commands_per_ref
+    moderate = run_machine("twobit", q=0.05).results().extra_commands_per_ref
+    high = run_machine("twobit", q=0.12).results().extra_commands_per_ref
+    assert low < moderate < high
+
+
+def test_two_bit_overhead_grows_with_n():
+    small = run_machine("twobit", n=2).results().extra_commands_per_ref
+    large = run_machine("twobit", n=8).results().extra_commands_per_ref
+    assert large > small
+
+
+def test_full_map_is_the_zero_overhead_reference():
+    twobit = run_machine("twobit", q=0.08)
+    fullmap = run_machine("fullmap", q=0.08)
+    assert twobit.results().extra_commands_per_ref > 0
+    assert fullmap.results().extra_commands_per_ref == 0
+
+
+def test_forced_writebacks_independent_of_mapping_method():
+    """§4.1: "the number of 'forced' write-backs and invalidations are
+    independent of the mapping method" — only the *useless* commands
+    differ."""
+    twobit = run_machine("twobit", q=0.08, seed=9)
+    fullmap = run_machine("fullmap", q=0.08, seed=9)
+    tb = twobit.results()
+    fm = fullmap.results()
+    assert tb.invalidations_applied == pytest.approx(
+        fm.invalidations_applied, rel=0.10
+    )
+    assert tb.writebacks == pytest.approx(fm.writebacks, rel=0.10)
+
+
+def test_classical_traffic_tracks_every_store():
+    classical = run_machine("classical", q=0.05)
+    stores = sum(c.counters["writes"] for c in classical.caches)
+    signals = sum(
+        c.counters["invalidation_signals"] for c in classical.controllers
+    )
+    assert signals == stores * (classical.config.n_processors - 1)
+
+
+def test_classical_command_rate_dwarfs_two_bit_at_low_sharing():
+    """The classical scheme signals on *every* store; the two-bit scheme
+    only on shared-block coherence events — the whole point of §3."""
+    twobit = run_machine("twobit", q=0.01)
+    classical = run_machine("classical", q=0.01)
+    assert (
+        classical.results().commands_per_ref
+        > 10 * twobit.results().commands_per_ref
+    )
+
+
+def test_static_scheme_pays_latency_instead_of_commands():
+    static = run_machine("static", q=0.10)
+    twobit = run_machine("twobit", q=0.10)
+    rs, rt = static.results(), twobit.results()
+    assert rs.commands_per_ref == 0
+    # Every shared access goes to memory: shared "hit ratio" is zero and
+    # latency is worse than the caching scheme's.
+    assert rs.shared_hit_ratio == 0.0
+    assert rt.shared_hit_ratio > 0.0
+
+
+def test_measured_state_occupancy_feeds_the_analytic_model():
+    """Close the loop: measured P(P1)/P(P*)/P(PM) and h from the
+    simulator, plugged into the §4.2 formula, predicts the measured
+    extra-command rate."""
+    from repro.analysis.overhead_model import SharingCase, per_cache_overhead
+    from repro.core.states import GlobalState
+
+    machine = run_machine("twobit", n=4, q=0.10, w=0.3, refs=4000)
+    workload = machine.workload
+    occ = machine.state_occupancy(blocks=workload.shared_blocks)
+    results = machine.results()
+    case = SharingCase(
+        name="measured",
+        q=0.10,
+        h=results.shared_hit_ratio,
+        p_p1=occ[GlobalState.PRESENT1],
+        p_pstar=occ[GlobalState.PRESENT_STAR],
+        p_pm=occ[GlobalState.PRESENTM],
+    )
+    predicted = per_cache_overhead(4, case, 0.3)
+    measured = results.extra_commands_per_ref
+    # The closed form is an upper bound: it uses worst-case n-1 recipients
+    # for Present* rounds and *time-averaged* state probabilities, whereas
+    # events condition on the state (e.g. a write hit mostly finds the
+    # block the writer just modified, not Present*).  Simulation lands at
+    # a constant fraction of the bound — order-of-magnitude agreement is
+    # the validation target here; bench_sim_table_4_1 reports the full
+    # comparison.
+    assert predicted > 0
+    assert measured <= predicted * 1.2  # it is (essentially) an upper bound
+    assert measured > predicted / 10  # and not vacuously loose

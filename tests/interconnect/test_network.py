@@ -1,0 +1,115 @@
+"""Point-to-point network and the broadcast machinery."""
+
+import pytest
+
+from repro.interconnect.message import Message, MessageKind
+from repro.interconnect.network import PointToPointNetwork
+from repro.sim.component import Component
+from repro.sim.kernel import Simulator
+
+
+class Sink(Component):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def deliver(self, message):
+        self.received.append((self.sim.now, message))
+
+
+def wire(latency=4, n_sinks=3):
+    sim = Simulator()
+    net = PointToPointNetwork(sim, latency=latency)
+    sinks = [Sink(sim, f"cache{i}") for i in range(n_sinks)]
+    for sink in sinks:
+        net.attach(sink, broadcast_member=True)
+    return sim, net, sinks
+
+
+def msg(kind=MessageKind.REQUEST, src="cache0", dst="cache1", block=0, **kw):
+    return Message(kind=kind, src=src, dst=dst, block=block, **kw)
+
+
+def test_send_delivers_after_latency():
+    sim, net, sinks = wire(latency=4)
+    net.send(msg())
+    sim.run()
+    assert len(sinks[1].received) == 1
+    time, _ = sinks[1].received[0]
+    assert time == 4
+
+
+def test_send_requires_destination():
+    sim, net, _ = wire()
+    with pytest.raises(ValueError):
+        net.send(msg(dst=None))
+
+
+def test_unknown_endpoint_rejected():
+    sim, net, _ = wire()
+    with pytest.raises(KeyError):
+        net.send(msg(dst="nosuch"))
+
+
+def test_duplicate_endpoint_rejected():
+    sim, net, sinks = wire()
+    with pytest.raises(ValueError):
+        net.attach(Sink(sim, "cache0"))
+
+
+def test_broadcast_excludes_sender_and_explicit():
+    sim, net, sinks = wire()
+    count = net.broadcast(
+        msg(kind=MessageKind.BROADINV, src="cache0", dst=None),
+        exclude={"cache2"},
+    )
+    sim.run()
+    assert count == 1  # only cache1
+    assert len(sinks[1].received) == 1
+    assert not sinks[0].received and not sinks[2].received
+
+
+def test_broadcast_rewrites_dst_per_copy():
+    sim, net, sinks = wire()
+    net.broadcast(msg(kind=MessageKind.BROADINV, src="cache0", dst=None))
+    sim.run()
+    _, copy = sinks[1].received[0]
+    assert copy.dst == "cache1"
+
+
+def test_broadcast_copies_have_independent_meta():
+    sim, net, sinks = wire()
+    original = msg(kind=MessageKind.BROADINV, src="cache0", dst=None)
+    original.meta["tag"] = 1
+    net.broadcast(original)
+    sim.run()
+    (_, a), (_, b) = sinks[1].received[0], sinks[2].received[0]
+    a.meta["tag"] = 2
+    assert b.meta["tag"] == 1
+
+
+def test_traffic_accounting():
+    sim, net, sinks = wire()
+    net.send(msg())  # command: 1 unit
+    net.send(msg(kind=MessageKind.GET, version=1))  # data: 4 units
+    sim.run()
+    assert net.counters["commands"] == 1
+    assert net.counters["data_transfers"] == 1
+    assert net.counters["traffic_units"] == 5
+
+
+def test_broadcast_counters():
+    sim, net, sinks = wire()
+    net.broadcast(msg(kind=MessageKind.BROADINV, src="cache0", dst=None))
+    sim.run()
+    assert net.counters["broadcasts"] == 1
+    assert net.counters["broadcast_deliveries"] == 2
+
+
+def test_fifo_per_source_destination_pair():
+    sim, net, sinks = wire()
+    net.send(msg(block=1))
+    net.send(msg(block=2))
+    sim.run()
+    blocks = [m.block for _, m in sinks[1].received]
+    assert blocks == [1, 2]

@@ -1,0 +1,61 @@
+"""Block-to-module address mapping."""
+
+import pytest
+
+from repro.memory.address import AddressMap, Interleaving
+
+
+def test_low_order_interleaving():
+    amap = AddressMap(n_modules=4, n_blocks=16)
+    assert [amap.home(b) for b in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_blocked_interleaving():
+    amap = AddressMap(4, 16, Interleaving.BLOCKED)
+    assert amap.home(0) == 0
+    assert amap.home(3) == 0
+    assert amap.home(4) == 1
+    assert amap.home(15) == 3
+
+
+def test_blocked_uneven_blocks():
+    amap = AddressMap(3, 10, Interleaving.BLOCKED)
+    homes = [amap.home(b) for b in range(10)]
+    assert homes == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+
+def test_blocks_of_partitions_address_space():
+    for interleaving in Interleaving:
+        amap = AddressMap(3, 11, interleaving)
+        seen = []
+        for module in range(3):
+            seen.extend(amap.blocks_of(module))
+        assert sorted(seen) == list(range(11))
+
+
+def test_blocks_of_matches_home():
+    amap = AddressMap(4, 32)
+    for module in range(4):
+        for block in amap.blocks_of(module):
+            assert amap.home(block) == module
+
+
+def test_out_of_range_block_rejected():
+    amap = AddressMap(2, 8)
+    with pytest.raises(ValueError):
+        amap.home(8)
+    with pytest.raises(ValueError):
+        amap.home(-1)
+
+
+def test_out_of_range_module_rejected():
+    amap = AddressMap(2, 8)
+    with pytest.raises(ValueError):
+        amap.blocks_of(2)
+
+
+def test_degenerate_configs_rejected():
+    with pytest.raises(ValueError):
+        AddressMap(0, 8)
+    with pytest.raises(ValueError):
+        AddressMap(2, 0)

@@ -1,0 +1,45 @@
+"""Memory module storage."""
+
+import pytest
+
+from repro.memory.module import MemoryModule
+from repro.sim.kernel import Simulator
+
+
+def make_module(blocks=range(4)):
+    return MemoryModule(Simulator(), index=0, blocks=blocks)
+
+
+def test_initial_versions_zero():
+    module = make_module()
+    assert module.read(0) == 0
+    assert module.peek(3) == 0
+
+
+def test_write_then_read():
+    module = make_module()
+    module.write(2, 17)
+    assert module.read(2) == 17
+
+
+def test_owns():
+    module = make_module(blocks=[1, 3])
+    assert module.owns(1) and module.owns(3)
+    assert not module.owns(0)
+
+
+def test_foreign_block_rejected():
+    module = make_module(blocks=[0, 1])
+    with pytest.raises(KeyError):
+        module.read(5)
+    with pytest.raises(KeyError):
+        module.write(5, 1)
+
+
+def test_counters_track_accesses_but_not_peek():
+    module = make_module()
+    module.read(0)
+    module.write(0, 1)
+    module.peek(0)
+    assert module.counters["reads"] == 1
+    assert module.counters["writes"] == 1

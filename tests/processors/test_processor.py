@@ -1,0 +1,118 @@
+"""Processor model: budgets, blocking, counters."""
+
+from repro.processors.processor import Processor
+from repro.protocols.base import AccessResult
+from repro.sim.kernel import Simulator
+from repro.workloads.reference import MemRef, Op
+
+
+class StubCache:
+    """Completes every access after a fixed delay."""
+
+    def __init__(self, sim, delay=3):
+        self.sim = sim
+        self.delay = delay
+        self.accesses = []
+
+    def access(self, ref, callback):
+        self.accesses.append(ref)
+        issue = self.sim.now
+
+        def finish():
+            callback(
+                AccessResult(
+                    ref=ref,
+                    hit=True,
+                    issue_time=issue,
+                    complete_time=self.sim.now,
+                    version=0,
+                )
+            )
+
+        self.sim.schedule(self.delay, finish)
+
+
+def stream_of(n, pid=0):
+    return iter(
+        MemRef(pid=pid, op=Op.WRITE if i % 2 else Op.READ, block=i % 4, shared=True)
+        for i in range(n)
+    )
+
+
+def test_budget_limits_references():
+    sim = Simulator()
+    cache = StubCache(sim)
+    proc = Processor(sim, 0, cache, stream_of(100), budget=5)
+    proc.start()
+    sim.run()
+    assert proc.completed == 5
+    assert proc.drained
+    assert len(cache.accesses) == 5
+
+
+def test_stream_exhaustion_stops():
+    sim = Simulator()
+    cache = StubCache(sim)
+    proc = Processor(sim, 0, cache, stream_of(3), budget=100)
+    proc.start()
+    sim.run()
+    assert proc.completed == 3
+    assert proc.exhausted and proc.drained
+
+
+def test_blocking_one_reference_at_a_time():
+    sim = Simulator()
+    cache = StubCache(sim, delay=5)
+    proc = Processor(sim, 0, cache, stream_of(4), budget=4)
+    proc.start()
+    sim.run()
+    assert sim.now == 20  # strictly sequential
+
+
+def test_resume_after_budget_raise():
+    sim = Simulator()
+    cache = StubCache(sim)
+    proc = Processor(sim, 0, cache, stream_of(50), budget=2)
+    proc.start()
+    sim.run()
+    assert proc.completed == 2
+    proc.budget += 3
+    proc.resume()
+    sim.run()
+    assert proc.completed == 5
+
+
+def test_counters():
+    sim = Simulator()
+    cache = StubCache(sim, delay=2)
+    proc = Processor(sim, 0, cache, stream_of(4), budget=4)
+    proc.start()
+    sim.run()
+    assert proc.counters["refs"] == 4
+    assert proc.counters["writes"] == 2
+    assert proc.counters["shared_refs"] == 4
+    assert proc.counters["hits"] == 4
+    assert proc.counters["latency_cycles"] == 8
+
+
+def test_on_drained_callback():
+    sim = Simulator()
+    cache = StubCache(sim)
+    drained = []
+    proc = Processor(
+        sim, 0, cache, stream_of(1), budget=1, on_drained=drained.append
+    )
+    proc.start()
+    sim.run()
+    assert drained == [proc]
+
+
+def test_think_time_spaces_issues():
+    sim = Simulator()
+    cache = StubCache(sim, delay=1)
+    proc = Processor(sim, 0, cache, stream_of(3), budget=3, think_time=4)
+    proc.start()
+    sim.run()
+    # Each completion schedules the next issue attempt think_time later,
+    # including the final one that discovers the exhausted budget.
+    assert sim.now == 3 * 1 + 3 * 4

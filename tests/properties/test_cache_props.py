@@ -1,0 +1,78 @@
+"""Property-based tests for the cache array invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.array import CacheArray
+from repro.cache.replacement import make_policy
+
+geometries = st.tuples(
+    st.integers(min_value=1, max_value=4),  # sets
+    st.integers(min_value=1, max_value=4),  # ways
+)
+block_ops = st.lists(st.integers(min_value=0, max_value=15), max_size=80)
+
+
+@given(geometry=geometries, blocks=block_ops)
+def test_resident_blocks_unique_and_bounded(geometry, blocks):
+    sets, ways = geometry
+    arr = CacheArray(sets, ways)
+    for block in blocks:
+        arr.fill(block, version=0)
+    resident = arr.resident_blocks()
+    assert len(resident) == len(set(resident))
+    assert len(resident) <= arr.n_frames
+
+
+@given(geometry=geometries, blocks=block_ops)
+def test_every_resident_block_is_found_in_its_set(geometry, blocks):
+    sets, ways = geometry
+    arr = CacheArray(sets, ways)
+    for block in blocks:
+        arr.fill(block, version=0)
+    for line in arr.valid_lines():
+        assert arr.lookup(line.block) is line
+        assert line.block % sets == arr.set_index(line.block)
+
+
+@given(geometry=geometries, blocks=block_ops)
+def test_most_recent_fill_always_resident(geometry, blocks):
+    sets, ways = geometry
+    arr = CacheArray(sets, ways)
+    for block in blocks:
+        arr.fill(block, version=0)
+        assert arr.lookup(block) is not None
+
+
+@given(blocks=block_ops, policy_name=st.sampled_from(["lru", "fifo", "random"]))
+@settings(max_examples=60)
+def test_per_set_capacity_never_exceeded(blocks, policy_name):
+    arr = CacheArray(2, 2, policy=make_policy(policy_name, seed=1))
+    for block in blocks:
+        arr.fill(block, version=0)
+    per_set = {}
+    for line in arr.valid_lines():
+        per_set.setdefault(arr.set_index(line.block), []).append(line)
+    for lines in per_set.values():
+        assert len(lines) <= 2
+
+
+@given(blocks=st.lists(st.integers(min_value=0, max_value=7), max_size=60))
+def test_lru_keeps_most_recent_distinct_blocks_fully_associative(blocks):
+    """In a fully associative LRU cache of capacity C, the C most
+    recently used distinct blocks are exactly the resident set."""
+    capacity = 4
+    arr = CacheArray(n_sets=1, associativity=capacity, policy=make_policy("lru"))
+    for block in blocks:
+        line = arr.lookup(block)
+        if line is not None:
+            arr.touch(line)
+        else:
+            arr.fill(block, version=0)
+    expected = []
+    for block in reversed(blocks):
+        if block not in expected:
+            expected.append(block)
+        if len(expected) == capacity:
+            break
+    assert sorted(arr.resident_blocks()) == sorted(expected)

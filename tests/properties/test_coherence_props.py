@@ -1,0 +1,143 @@
+"""The headline property: any reference interleaving stays coherent.
+
+Hypothesis generates short multi-processor reference scripts over a tiny,
+heavily contended address space; every protocol must drain, satisfy the
+oracle (every read returns the most recently written value), and pass the
+quiescent audit.  This is the randomized protocol verifier that found the
+races catalogued in DESIGN.md.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import MachineConfig, ProtocolOptions
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.reference import MemRef, Op
+from repro.workloads.synthetic import ScriptedWorkload
+
+N_PROCS = 3
+N_BLOCKS = 4
+
+ops = st.tuples(
+    st.booleans(),  # write?
+    st.integers(min_value=0, max_value=N_BLOCKS - 1),
+)
+scripts_strategy = st.lists(
+    st.lists(ops, max_size=25), min_size=N_PROCS, max_size=N_PROCS
+)
+
+
+def build_scripts(raw):
+    scripts = []
+    for pid, entries in enumerate(raw):
+        scripts.append(
+            [
+                MemRef(
+                    pid=pid,
+                    op=Op.WRITE if is_write else Op.READ,
+                    block=block,
+                    shared=True,
+                )
+                for is_write, block in entries
+            ]
+        )
+    return scripts
+
+
+def run_protocol(protocol, raw_scripts, options=None, network=None):
+    scripts = build_scripts(raw_scripts)
+    if network is None:
+        network = "bus" if protocol in ("write_once", "illinois") else "xbar"
+    kwargs = dict(
+        n_processors=N_PROCS,
+        n_modules=2,
+        n_blocks=N_BLOCKS,
+        cache_sets=1,
+        cache_assoc=2,  # tiny cache: constant evictions
+        protocol=protocol,
+        network=network,
+    )
+    if options is not None:
+        kwargs["options"] = options
+    machine = build_machine(MachineConfig(**kwargs), ScriptedWorkload(scripts))
+    machine.run(refs_per_proc=100)
+    audit_machine(machine).raise_if_failed()
+
+
+common_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_twobit_coherent_on_any_interleaving(raw):
+    run_protocol("twobit", raw)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_twobit_paper_literal_options_coherent(raw):
+    run_protocol(
+        "twobit",
+        raw,
+        options=ProtocolOptions(
+            owner_invalidates_on_read_query=True,
+            keep_present1=False,
+            serialization="global",
+        ),
+    )
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_twobit_with_translation_buffer_coherent(raw):
+    run_protocol(
+        "twobit", raw, options=ProtocolOptions(translation_buffer_entries=2)
+    )
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_twobit_on_bus_coherent(raw):
+    run_protocol("twobit", raw, network="bus")
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_fullmap_coherent_on_any_interleaving(raw):
+    run_protocol("fullmap", raw)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_fullmap_local_coherent_on_any_interleaving(raw):
+    run_protocol("fullmap_local", raw)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_classical_coherent_on_any_interleaving(raw):
+    run_protocol("classical", raw)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_twobit_wt_coherent_on_any_interleaving(raw):
+    run_protocol("twobit_wt", raw)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_write_once_coherent_on_any_interleaving(raw):
+    run_protocol("write_once", raw)
+
+
+@given(raw=scripts_strategy)
+@common_settings
+def test_illinois_coherent_on_any_interleaving(raw):
+    run_protocol("illinois", raw)

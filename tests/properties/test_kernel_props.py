@@ -1,0 +1,64 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=1000), max_size=60))
+def test_execution_order_is_time_sorted(delays):
+    sim = Simulator()
+    fired = []
+    for i, delay in enumerate(delays):
+        sim.schedule(delay, fired.append, (delay, i))
+    sim.run()
+    assert [t for t, _ in fired] == sorted(delays)
+    assert len(fired) == len(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=100), max_size=40))
+def test_ties_preserve_submission_order(delays):
+    sim = Simulator()
+    fired = []
+    for i, delay in enumerate(delays):
+        sim.schedule(delay, fired.append, (delay, i))
+    sim.run()
+    # Among equal times, sequence numbers must ascend.
+    for (t1, i1), (t2, i2) in zip(fired, fired[1:]):
+        if t1 == t2:
+            assert i1 < i2
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=40),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=40),
+)
+def test_cancelled_subset_never_fires(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    events = [sim.schedule(d, fired.append, i) for i, d in enumerate(delays)]
+    for event, cancel in zip(events, cancel_mask):
+        if cancel:
+            event.cancel()
+    sim.run()
+    cancelled = {i for i, c in enumerate(cancel_mask[: len(events)]) if c}
+    assert set(fired).isdisjoint(cancelled)
+    assert len(fired) == len(delays) - len(cancelled & set(range(len(delays))))
+
+
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=50), max_size=30),
+    until=st.integers(min_value=0, max_value=60),
+)
+@settings(max_examples=50)
+def test_run_until_partitions_events(delays, until):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, fired.append, d)
+    sim.run(until=until)
+    assert all(d <= until for d in fired)
+    assert sim.now == until or (fired and sim.now <= until)
+    sim.run()
+    assert sorted(fired) == sorted(delays)

@@ -1,0 +1,42 @@
+"""Property-based tests for the Markov utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.markov import stationary_distribution
+
+
+@st.composite
+def stochastic_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    matrix = []
+    for _ in range(n):
+        raw = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        total = sum(raw)
+        matrix.append([value / total for value in raw])
+    return matrix
+
+
+@given(matrix=stochastic_matrices())
+@settings(max_examples=60)
+def test_stationary_is_a_distribution(matrix):
+    pi = stationary_distribution(matrix)
+    assert sum(pi) == pytest.approx(1.0, abs=1e-8)
+    assert all(p >= 0 for p in pi)
+
+
+@given(matrix=stochastic_matrices())
+@settings(max_examples=60)
+def test_stationary_is_a_fixed_point(matrix):
+    pi = stationary_distribution(matrix)
+    n = len(matrix)
+    for j in range(n):
+        flowed = sum(pi[i] * matrix[i][j] for i in range(n))
+        assert flowed == pytest.approx(pi[j], abs=1e-7)

@@ -1,0 +1,87 @@
+"""Property-based tests for the coherence oracle's semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verification.oracle import CoherenceOracle
+
+
+@st.composite
+def commit_schedules(draw):
+    """A time-ordered list of commit instants for one block."""
+    gaps = draw(st.lists(st.integers(min_value=1, max_value=20), max_size=15))
+    times = []
+    now = 0
+    for gap in gaps:
+        now += gap
+        times.append(now)
+    return times
+
+
+@given(times=commit_schedules())
+def test_latest_version_tracks_last_commit(times):
+    oracle = CoherenceOracle()
+    versions = []
+    for t in times:
+        v = oracle.new_version()
+        oracle.commit_write(1, v, time=t, pid=0)
+        versions.append(v)
+    expected = versions[-1] if versions else 0
+    assert oracle.latest_version(1) == expected
+
+
+@given(times=commit_schedules(), probe=st.integers(min_value=0, max_value=400))
+def test_reads_of_current_or_newer_versions_always_pass(times, probe):
+    oracle = CoherenceOracle()
+    versions = [0]
+    for t in times:
+        v = oracle.new_version()
+        oracle.commit_write(1, v, time=t, pid=0)
+        versions.append(v)
+    # The version current at `probe` is the last committed strictly
+    # before it; reading it, or anything newer that was committed, is
+    # legal.
+    current = 0
+    for t, v in zip(times, versions[1:]):
+        if t < probe:
+            current = v
+    for v in versions:
+        if v >= current:
+            oracle.check_read(1, v, issue_time=probe, pid=1)
+    assert oracle.ok
+
+
+@given(times=commit_schedules())
+@settings(max_examples=50)
+def test_reading_older_than_current_fails(times):
+    oracle = CoherenceOracle(strict=False)
+    versions = []
+    for t in times:
+        v = oracle.new_version()
+        oracle.commit_write(1, v, time=t, pid=0)
+        versions.append(v)
+    if len(versions) < 2:
+        return
+    # Read issued after the final commit must not see the first version.
+    oracle.check_read(1, versions[0], issue_time=times[-1] + 1, pid=1)
+    assert not oracle.ok
+
+
+@given(
+    blocks=st.lists(
+        st.integers(min_value=0, max_value=5), min_size=1, max_size=20
+    )
+)
+def test_blocks_never_interfere(blocks):
+    oracle = CoherenceOracle()
+    time = 0
+    latest = {}
+    for block in blocks:
+        time += 1
+        v = oracle.new_version()
+        oracle.commit_write(block, v, time=time, pid=0)
+        latest[block] = v
+    for block, v in latest.items():
+        assert oracle.latest_version(block) == v
+        oracle.check_read(block, v, issue_time=time + 1, pid=1)
+    assert oracle.ok

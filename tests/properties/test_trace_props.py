@@ -1,0 +1,28 @@
+"""Property-based round trips for the trace format."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.reference import MemRef, Op
+
+refs = st.builds(
+    MemRef,
+    pid=st.integers(min_value=0, max_value=63),
+    op=st.sampled_from(list(Op)),
+    block=st.integers(min_value=0, max_value=10_000),
+    shared=st.booleans(),
+)
+
+
+@given(ref=refs)
+def test_line_roundtrip(ref):
+    assert MemRef.parse(str(ref)) == ref
+
+
+@given(ref_list=st.lists(refs, max_size=50))
+def test_file_roundtrip(ref_list, tmp_path_factory):
+    from repro.workloads.traces import read_trace, write_trace
+
+    path = tmp_path_factory.mktemp("traces") / "t.txt"
+    write_trace(path, ref_list)
+    assert read_trace(path) == ref_list

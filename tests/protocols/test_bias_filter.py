@@ -1,0 +1,82 @@
+"""§2.3's BIAS memory on the classical scheme."""
+
+from repro.config import ProtocolOptions
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(**overrides):
+    overrides.setdefault("protocol", "classical")
+    return scripted_machine([[], []], n_modules=1, **overrides)
+
+
+def test_repeated_invalidations_filtered():
+    machine = fresh(options=ProtocolOptions(bias_filter_entries=4))
+    read(machine, 1, 3)
+    write(machine, 0, 3)  # invalidates P1's copy; P1 remembers block 3
+    stolen_before = machine.caches[1].counters["stolen_cycles"]
+    write(machine, 0, 3)  # repeated store: P1's BIAS filters the signal
+    write(machine, 0, 3)
+    cache1 = machine.caches[1]
+    assert cache1.counters["snoops_filtered_by_bias"] == 2
+    assert cache1.counters["stolen_cycles"] == stolen_before
+    assert_clean_audit(machine)
+
+
+def test_refetch_clears_the_filter():
+    machine = fresh(options=ProtocolOptions(bias_filter_entries=4))
+    read(machine, 1, 3)
+    write(machine, 0, 3)
+    read(machine, 1, 3)  # P1 re-fetches: filter entry must clear
+    write(machine, 0, 3)  # this one must invalidate for real
+    assert machine.caches[1].holds(3) is None
+    assert machine.caches[1].counters["invalidations_applied"] == 2
+    assert_clean_audit(machine)
+
+
+def test_capacity_evicts_oldest():
+    machine = fresh(options=ProtocolOptions(bias_filter_entries=1))
+    write(machine, 0, 3)
+    write(machine, 0, 5)  # block 3's entry evicted (capacity 1)
+    write(machine, 0, 3)  # not filtered (entry gone), re-remembered
+    cache1 = machine.caches[1]
+    assert cache1.counters["snoops_filtered_by_bias"] == 0
+    write(machine, 0, 3)  # now filtered
+    assert cache1.counters["snoops_filtered_by_bias"] == 1
+    assert_clean_audit(machine)
+
+
+def test_disabled_by_default():
+    machine = fresh()
+    write(machine, 0, 3)
+    write(machine, 0, 3)
+    assert machine.caches[1].counters["snoops_filtered_by_bias"] == 0
+
+
+def test_bias_reduces_stolen_cycles_under_load():
+    base = uniform_machine("classical", n=4, seed=17, refs=1000, write_frac=0.5)
+    biased = uniform_machine(
+        "classical", n=4, seed=17, refs=1000, write_frac=0.5,
+        options=ProtocolOptions(bias_filter_entries=8),
+    )
+    rb, rf = base.results(), biased.results()
+    assert rf.stolen_cycles_per_ref < rb.stolen_cycles_per_ref
+    filtered = sum(
+        c.counters["snoops_filtered_by_bias"] for c in biased.caches
+    )
+    assert filtered > 0
+    assert_clean_audit(biased)
+
+
+def test_bias_remains_coherent_under_hammer():
+    machine = uniform_machine(
+        "classical", n=8, n_blocks=4, seed=23, refs=1200, write_frac=0.6,
+        options=ProtocolOptions(bias_filter_entries=2),
+    )
+    assert_clean_audit(machine)

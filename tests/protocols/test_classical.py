@@ -1,0 +1,95 @@
+"""Classical write-through + invalidate-all scheme (§2.3)."""
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "classical")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def test_memory_always_current():
+    machine = fresh()
+    v = write(machine, 0, 3).version
+    assert machine.modules[0].peek(3) == v
+    v2 = write(machine, 0, 3).version
+    assert machine.modules[0].peek(3) == v2
+    assert_clean_audit(machine)
+
+
+def test_every_store_signals_all_other_caches():
+    machine = fresh(n=4)
+    write(machine, 0, 3)
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["invalidation_signals"] == 3
+    write(machine, 1, 3)
+    assert ctrl.counters["invalidation_signals"] == 6
+    assert_clean_audit(machine)
+
+
+def test_store_invalidates_other_copies():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    write(machine, 0, 3)
+    assert machine.caches[1].holds(3) is None
+    line = machine.caches[0].holds(3)
+    assert line is not None and not line.modified  # write-through: clean
+    assert_clean_audit(machine)
+
+
+def test_writer_updates_own_copy_in_place():
+    machine = fresh()
+    read(machine, 0, 3)
+    v = write(machine, 0, 3).version
+    result = read(machine, 0, 3)
+    assert result.hit and result.version == v
+
+
+def test_no_write_allocate():
+    machine = fresh()
+    write(machine, 0, 3)  # miss: no allocation
+    assert machine.caches[0].holds(3) is None
+    result = read(machine, 0, 3)
+    assert not result.hit
+
+
+def test_read_after_remote_write_sees_new_value():
+    machine = fresh()
+    read(machine, 1, 3)
+    v = write(machine, 0, 3).version
+    result = read(machine, 1, 3)
+    assert result.version == v
+    assert_clean_audit(machine)
+
+
+def test_evictions_are_silent_and_clean():
+    machine = fresh()
+    read(machine, 0, 0)
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts block 0, nothing to write back
+    assert machine.modules[0].counters["writes"] == 0
+    assert_clean_audit(machine)
+
+
+def test_invalidation_traffic_scales_with_stores():
+    machine = uniform_machine("classical", n=4, seed=6, refs=800, write_frac=0.5)
+    stores = sum(c.counters["writes"] for c in machine.caches)
+    signals = sum(c.counters["invalidation_signals"] for c in machine.controllers)
+    assert signals == stores * 3  # every store hits all n-1 caches
+    assert_clean_audit(machine)
+
+
+def test_stale_fill_retry_under_contention():
+    machine = uniform_machine(
+        "classical", n=8, n_blocks=4, seed=2, refs=1200, write_frac=0.6
+    )
+    retries = sum(c.counters["stale_fills_retried"] for c in machine.caches)
+    assert retries > 0  # the race occurs and is survived
+    assert_clean_audit(machine)

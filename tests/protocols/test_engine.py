@@ -1,0 +1,120 @@
+"""Transaction serialization engine (both §3.2.5 controller designs)."""
+
+import pytest
+
+from repro.interconnect.message import Message, MessageKind
+from repro.protocols.engine import TransactionEngine
+
+
+def msg(block, kind=MessageKind.REQUEST, src="cache0", **kw):
+    return Message(kind=kind, src=src, dst="ctrl0", block=block, **kw)
+
+
+def make(serialization="block"):
+    started = []
+    engine = TransactionEngine(started.append, serialization)
+    return engine, started
+
+
+def test_block_mode_starts_distinct_blocks_concurrently():
+    engine, started = make("block")
+    a, b = msg(1), msg(2)
+    engine.submit(a)
+    engine.submit(b)
+    assert started == [a, b]
+    assert engine.n_active == 2
+    assert engine.max_concurrency == 2
+
+
+def test_block_mode_queues_same_block():
+    engine, started = make("block")
+    a, b = msg(1), msg(1)
+    engine.submit(a)
+    engine.submit(b)
+    assert started == [a]
+    assert engine.n_queued == 1
+    engine.complete(1)
+    assert started == [a, b]
+    engine.complete(1)
+    assert engine.idle
+
+
+def test_global_mode_single_active():
+    engine, started = make("global")
+    a, b = msg(1), msg(2)
+    engine.submit(a)
+    engine.submit(b)
+    assert started == [a]
+    engine.complete(1)
+    assert started == [a, b]
+    assert engine.active_for(2) is b
+    engine.complete(2)
+    assert engine.idle
+
+
+def test_active_for():
+    engine, _ = make("block")
+    a = msg(3)
+    engine.submit(a)
+    assert engine.active_for(3) is a
+    assert engine.active_for(4) is None
+
+
+def test_complete_without_active_raises():
+    engine, _ = make("block")
+    with pytest.raises(RuntimeError):
+        engine.complete(1)
+    engine_g, _ = make("global")
+    with pytest.raises(RuntimeError):
+        engine_g.complete(1)
+
+
+def test_scrub_removes_matching_queued_only():
+    engine, started = make("block")
+    active = msg(1)
+    queued_mreq = msg(1, kind=MessageKind.MREQUEST, src="cache1")
+    queued_req = msg(1, src="cache2")
+    engine.submit(active)
+    engine.submit(queued_mreq)
+    engine.submit(queued_req)
+    removed = engine.scrub(1, lambda m: m.kind is MessageKind.MREQUEST)
+    assert removed == [queued_mreq]
+    engine.complete(1)
+    assert started[-1] is queued_req
+
+
+def test_scrub_never_touches_active():
+    engine, _ = make("block")
+    active = msg(1, kind=MessageKind.MREQUEST)
+    engine.submit(active)
+    removed = engine.scrub(1, lambda m: True)
+    assert removed == []
+    assert engine.active_for(1) is active
+
+
+def test_scrub_global_mode():
+    engine, started = make("global")
+    engine.submit(msg(1))
+    target = msg(2, kind=MessageKind.MREQUEST)
+    keeper = msg(2)
+    engine.submit(target)
+    engine.submit(keeper)
+    removed = engine.scrub(2, lambda m: m.kind is MessageKind.MREQUEST)
+    assert removed == [target]
+    engine.complete(1)
+    assert started[-1] is keeper
+
+
+def test_fifo_order_within_block():
+    engine, started = make("block")
+    messages = [msg(1, src=f"cache{i}") for i in range(4)]
+    for m in messages:
+        engine.submit(m)
+    for _ in range(3):
+        engine.complete(1)
+    assert started == messages[:4]
+
+
+def test_invalid_serialization_rejected():
+    with pytest.raises(ValueError):
+        TransactionEngine(lambda m: None, "banana")

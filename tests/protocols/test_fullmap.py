@@ -1,0 +1,135 @@
+"""Full-map (Censier-Feautrier) baseline."""
+
+from repro.protocols.fullmap import FullMapDirectory, FullMapEntry
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "fullmap")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def entry(machine, block):
+    return machine.controllers[0].directory.entry(block)
+
+
+def test_directory_storage_grows_with_n():
+    directory = FullMapDirectory(blocks=range(128))
+    assert directory.storage_bits(n_caches=16) == 17 * 128
+    assert FullMapEntry().storage_bits(16) == 17
+
+
+def test_read_miss_records_owner():
+    machine = fresh()
+    read(machine, 0, 3)
+    assert entry(machine, 3).owners == {0}
+    assert not entry(machine, 3).modified
+    assert_clean_audit(machine)
+
+
+def test_sharers_accumulate():
+    machine = fresh(n=3)
+    for pid in range(3):
+        read(machine, pid, 3)
+    assert entry(machine, 3).owners == {0, 1, 2}
+    assert_clean_audit(machine)
+
+
+def test_write_hit_invalidates_exactly_the_sharers():
+    machine = fresh(n=4)
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    write(machine, 0, 3)
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["invalidations_sent"] == 1  # only cache1
+    # Caches 2 and 3 never saw a command.
+    assert machine.caches[2].counters["snoop_commands"] == 0
+    assert machine.caches[3].counters["snoop_commands"] == 0
+    assert entry(machine, 3).owners == {0}
+    assert entry(machine, 3).modified
+    assert_clean_audit(machine)
+
+
+def test_read_miss_on_dirty_purges_owner_only():
+    machine = fresh(n=4)
+    v = write(machine, 0, 3).version
+    result = read(machine, 1, 3)
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["purges_sent"] == 1
+    assert result.version == v
+    assert entry(machine, 3).owners == {0, 1}  # owner kept a clean copy
+    assert not entry(machine, 3).modified
+    assert machine.modules[0].peek(3) == v
+    assert_clean_audit(machine)
+
+
+def test_write_miss_on_dirty_transfers_ownership():
+    machine = fresh()
+    write(machine, 0, 3)
+    write(machine, 1, 3)
+    assert entry(machine, 3).owners == {1}
+    assert entry(machine, 3).modified
+    assert machine.caches[0].holds(3) is None
+    assert_clean_audit(machine)
+
+
+def test_eject_maintains_presence_vector():
+    machine = fresh()
+    read(machine, 0, 0)
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts block 0 (set conflict)
+    assert entry(machine, 0).owners == set()
+    assert_clean_audit(machine)
+
+
+def test_dirty_eject_writes_back_and_clears():
+    machine = fresh()
+    v = write(machine, 0, 0).version
+    read(machine, 0, 2)
+    read(machine, 0, 4)
+    assert entry(machine, 0).owners == set()
+    assert machine.modules[0].peek(0) == v
+    assert_clean_audit(machine)
+
+
+def test_no_broadcasts_ever():
+    machine = uniform_machine("fullmap", n=4, seed=3, refs=800)
+    assert machine.network.counters["broadcasts"] == 0
+    # No broadcast command ever reaches a cache; the only "useless"
+    # selective commands are invalidations that crossed an in-flight
+    # eject, which are rare compared to the two-bit scheme's broadcasts.
+    broadcast_useless = sum(
+        c.counters["broadcast_useless"] for c in machine.caches
+    )
+    assert broadcast_useless == 0
+    twobit = uniform_machine("twobit", n=4, seed=3, refs=800)
+    fullmap_useless = sum(c.counters["snoop_useless"] for c in machine.caches)
+    twobit_useless = sum(c.counters["snoop_useless"] for c in twobit.caches)
+    assert fullmap_useless < twobit_useless / 5
+    assert_clean_audit(machine)
+
+
+def test_mrequest_race_denied_by_owner_check():
+    from repro.workloads.reference import Op
+    from tests.conftest import drive
+
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    # Both write "simultaneously": one MREQUEST loses.
+    results = []
+    from repro.workloads.reference import MemRef
+
+    machine.caches[0].access(MemRef(0, Op.WRITE, 3, shared=True), results.append)
+    machine.caches[1].access(MemRef(1, Op.WRITE, 3, shared=True), results.append)
+    machine.sim.run(max_events=100_000)
+    assert len(results) == 2
+    assert entry(machine, 3).modified
+    assert_clean_audit(machine)

@@ -1,0 +1,254 @@
+"""Conformance harness for the full-map baseline (§2.4.2).
+
+Mirror of the two-bit conformance suite: a stub network plays every
+cache, each directory situation is injected directly, and the emitted
+command sequence plus the resulting presence vector are checked against
+the expected behaviour.  Situations are described relative to the
+requester: who else holds the block, and whether it is dirty/exclusive.
+"""
+
+from typing import List, Optional, Set
+
+import pytest
+
+from repro.config import MachineConfig, ProtocolOptions
+from repro.interconnect.message import Message, MessageKind
+from repro.memory.module import MemoryModule
+from repro.protocols.fullmap import FullMapDirectoryController
+from repro.protocols.fullmap_local import LocalStateFullMapController
+from repro.sim.kernel import Simulator
+from repro.stats.counters import CounterSet
+
+N_CACHES = 4
+LATENCY = 2
+BLOCK = 2
+DIRTY_VERSION = 88
+CLEAN_VERSION = 11
+
+
+class StubNet:
+    """Interconnect + every cache, for one directory controller."""
+
+    def __init__(self, sim, dirty_owner: Optional[int]):
+        self.sim = sim
+        self.dirty_owner = dirty_owner
+        self.counters = CounterSet("stubnet")
+        self.ctrl = None
+        self.sent: List[str] = []
+
+    def _label(self, message: Message) -> str:
+        if message.kind is MessageKind.MGRANTED:
+            return "MGRANTED+" if message.flag else "MGRANTED-"
+        if message.kind in (MessageKind.INVALIDATE, MessageKind.PURGE):
+            return f"{message.kind.name}->{message.dst}"
+        return message.kind.name
+
+    def send(self, message: Message) -> None:
+        self.sent.append(self._label(message))
+        pid = int(message.dst.replace("cache", "")) if message.dst.startswith("cache") else None
+        if message.kind is MessageKind.INVALIDATE:
+            self.sim.schedule(LATENCY, self._ack, message, pid)
+        elif message.kind is MessageKind.PURGE:
+            self.sim.schedule(LATENCY, self._purge_reply, message, pid)
+
+    def broadcast(self, message, exclude=None):  # pragma: no cover
+        raise AssertionError("the full map must never broadcast")
+
+    def _ack(self, message: Message, pid: int) -> None:
+        self.ctrl.deliver(
+            Message(
+                kind=MessageKind.INV_ACK,
+                src=f"cache{pid}",
+                dst=self.ctrl.name,
+                block=message.block,
+                requester=pid,
+            )
+        )
+
+    def _purge_reply(self, message: Message, pid: int) -> None:
+        if pid == self.dirty_owner:
+            if message.rw == "write":
+                pass  # owner invalidates; nothing extra to model
+            self.ctrl.deliver(
+                Message(
+                    kind=MessageKind.PUT,
+                    src=f"cache{pid}",
+                    dst=self.ctrl.name,
+                    block=message.block,
+                    requester=pid,
+                    version=DIRTY_VERSION,
+                    meta={"for": "query", "from_wb": False},
+                )
+            )
+        else:
+            # Exclusive-clean owner: clean acknowledgement.
+            self.ctrl.deliver(
+                Message(
+                    kind=MessageKind.QUERY_NOCOPY,
+                    src=f"cache{pid}",
+                    dst=self.ctrl.name,
+                    block=message.block,
+                    requester=pid,
+                    meta={"had_clean": True},
+                )
+            )
+
+
+def make(owners: Set[int], modified: bool, exclusive: bool = False,
+         local_state: bool = False):
+    sim = Simulator()
+    config = MachineConfig(
+        n_processors=N_CACHES, n_modules=1, n_blocks=4,
+        options=ProtocolOptions(),
+    )
+    module = MemoryModule(sim, 0, blocks=range(4))
+    module.write(BLOCK, CLEAN_VERSION)
+    dirty_owner = next(iter(owners)) if modified else None
+    net = StubNet(sim, dirty_owner)
+    cls = LocalStateFullMapController if local_state else FullMapDirectoryController
+    ctrl = cls(sim, 0, config, net, module, n_caches=N_CACHES)
+    net.ctrl = ctrl
+    entry = ctrl.directory.entry(BLOCK)
+    entry.owners = set(owners)
+    entry.modified = modified
+    entry.exclusive = exclusive
+    return sim, net, ctrl, module
+
+
+def request(ctrl, kind, requester, rw=None):
+    ctrl.deliver(
+        Message(
+            kind=kind,
+            src=f"cache{requester}",
+            dst=ctrl.name,
+            block=BLOCK,
+            rw=rw,
+            requester=requester,
+            meta={"txn": 5},
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Read misses
+# ----------------------------------------------------------------------
+def test_read_miss_absent_serves_memory():
+    sim, net, ctrl, module = make(set(), modified=False)
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="read")
+    sim.run(max_events=10_000)
+    assert net.sent == ["GET"]
+    assert ctrl.directory.entry(BLOCK).owners == {0}
+
+
+def test_read_miss_shared_adds_reader_no_commands():
+    sim, net, ctrl, module = make({1, 2}, modified=False)
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="read")
+    sim.run(max_events=10_000)
+    assert net.sent == ["GET"]
+    assert ctrl.directory.entry(BLOCK).owners == {0, 1, 2}
+
+
+def test_read_miss_dirty_purges_exactly_the_owner():
+    sim, net, ctrl, module = make({3}, modified=True)
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="read")
+    sim.run(max_events=10_000)
+    assert net.sent == ["PURGE->cache3", "GET"]
+    entry = ctrl.directory.entry(BLOCK)
+    assert entry.owners == {0, 3} and not entry.modified
+    assert module.peek(BLOCK) == DIRTY_VERSION
+
+
+# ----------------------------------------------------------------------
+# Write misses
+# ----------------------------------------------------------------------
+def test_write_miss_shared_invalidates_each_holder():
+    sim, net, ctrl, module = make({1, 3}, modified=False)
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="write")
+    sim.run(max_events=10_000)
+    assert net.sent == ["INVALIDATE->cache1", "INVALIDATE->cache3", "GET"]
+    entry = ctrl.directory.entry(BLOCK)
+    assert entry.owners == {0} and entry.modified
+
+
+def test_write_miss_dirty_purges_owner():
+    sim, net, ctrl, module = make({2}, modified=True)
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="write")
+    sim.run(max_events=10_000)
+    assert net.sent == ["PURGE->cache2", "GET"]
+    entry = ctrl.directory.entry(BLOCK)
+    assert entry.owners == {0} and entry.modified
+
+
+# ----------------------------------------------------------------------
+# MREQUESTs
+# ----------------------------------------------------------------------
+def test_mrequest_sole_owner_granted_silently():
+    sim, net, ctrl, module = make({1}, modified=False)
+    request(ctrl, MessageKind.MREQUEST, requester=1)
+    sim.run(max_events=10_000)
+    assert net.sent == ["MGRANTED+"]
+    assert ctrl.directory.entry(BLOCK).modified
+
+
+def test_mrequest_with_sharers_invalidates_others_only():
+    sim, net, ctrl, module = make({0, 1, 2}, modified=False)
+    request(ctrl, MessageKind.MREQUEST, requester=1)
+    sim.run(max_events=10_000)
+    assert net.sent == ["INVALIDATE->cache0", "INVALIDATE->cache2", "MGRANTED+"]
+    entry = ctrl.directory.entry(BLOCK)
+    assert entry.owners == {1} and entry.modified
+
+
+def test_mrequest_from_non_owner_denied():
+    sim, net, ctrl, module = make({2}, modified=False)
+    request(ctrl, MessageKind.MREQUEST, requester=0)
+    sim.run(max_events=10_000)
+    assert net.sent == ["MGRANTED-"]
+    assert not ctrl.directory.entry(BLOCK).modified
+
+
+# ----------------------------------------------------------------------
+# Local-state variant (Yen-Fu)
+# ----------------------------------------------------------------------
+def test_local_state_lone_read_granted_exclusive():
+    sim, net, ctrl, module = make(set(), modified=False, local_state=True)
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="read")
+    sim.run(max_events=10_000)
+    assert net.sent == ["GET"]
+    assert ctrl.directory.entry(BLOCK).exclusive
+
+
+def test_local_state_exclusive_clean_purge_serves_memory():
+    sim, net, ctrl, module = make(
+        {2}, modified=False, exclusive=True, local_state=True
+    )
+    net.dirty_owner = None  # owner never silently upgraded: clean reply
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="read")
+    sim.run(max_events=10_000)
+    assert net.sent == ["PURGE->cache2", "GET"]
+    entry = ctrl.directory.entry(BLOCK)
+    assert entry.owners == {0, 2}
+    assert not entry.exclusive
+    assert module.peek(BLOCK) == CLEAN_VERSION  # memory was current
+
+
+def test_local_state_silently_upgraded_purge_collects_data():
+    sim, net, ctrl, module = make(
+        {2}, modified=False, exclusive=True, local_state=True
+    )
+    net.dirty_owner = 2  # the owner did silently upgrade
+    request(ctrl, MessageKind.REQUEST, requester=0, rw="read")
+    sim.run(max_events=10_000)
+    assert net.sent == ["PURGE->cache2", "GET"]
+    assert module.peek(BLOCK) == DIRTY_VERSION
+
+
+# ----------------------------------------------------------------------
+# Storage
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [4, 16, 64])
+def test_storage_grows_with_processor_count(n):
+    from repro.protocols.fullmap import FullMapDirectory
+
+    directory = FullMapDirectory(blocks=range(8))
+    assert directory.storage_bits(n) == (n + 1) * 8

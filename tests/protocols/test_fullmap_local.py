@@ -1,0 +1,108 @@
+"""Full map with exclusive-clean local state (Yen-Fu)."""
+
+from repro.cache.line import LocalState
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "fullmap_local")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def entry(machine, block):
+    return machine.controllers[0].directory.entry(block)
+
+
+def test_lone_read_grants_exclusive_clean():
+    machine = fresh()
+    read(machine, 0, 3)
+    line = machine.caches[0].holds(3)
+    assert line is not None and line.local is LocalState.EXCLUSIVE
+    assert entry(machine, 3).exclusive
+    assert_clean_audit(machine)
+
+
+def test_second_reader_is_not_exclusive():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    line = machine.caches[1].holds(3)
+    assert line is not None and line.local is not LocalState.EXCLUSIVE
+    assert not entry(machine, 3).exclusive
+    assert_clean_audit(machine)
+
+
+def test_silent_upgrade_skips_global_table():
+    machine = fresh()
+    read(machine, 0, 3)
+    transactions = machine.controllers[0].counters["transactions"]
+    result = write(machine, 0, 3)
+    assert result.hit
+    # The whole point: no MREQUEST round trip.
+    assert machine.controllers[0].counters["transactions"] == transactions
+    assert machine.caches[0].counters["silent_upgrades"] == 1
+    assert_clean_audit(machine)
+
+
+def test_directory_queries_possibly_dirty_owner():
+    """The synchronization problem of [10]: after a silent upgrade the
+    directory's modified bit is stale; it must purge before trusting
+    memory."""
+    machine = fresh()
+    read(machine, 0, 3)
+    v = write(machine, 0, 3).version  # silent: directory still says clean
+    result = read(machine, 1, 3)
+    assert result.version == v  # did not read stale memory
+    assert machine.controllers[0].counters["purges_sent"] == 1
+    assert_clean_audit(machine)
+
+
+def test_clean_exclusive_purge_answers_without_data():
+    machine = fresh()
+    read(machine, 0, 3)  # exclusive-clean, never written
+    read(machine, 1, 3)
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["purge_found_clean"] == 1
+    assert entry(machine, 3).owners == {0, 1}
+    assert_clean_audit(machine)
+
+
+def test_silent_upgrade_then_eviction_writes_back():
+    machine = fresh()
+    read(machine, 0, 0)
+    v = write(machine, 0, 0).version  # silent upgrade
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts dirty block 0
+    assert machine.modules[0].peek(0) == v
+    assert entry(machine, 0).owners == set()
+    assert_clean_audit(machine)
+
+
+def test_exclusive_state_cleared_by_clean_eject():
+    machine = fresh()
+    read(machine, 0, 0)
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # clean eject of exclusive block 0
+    assert not entry(machine, 0).exclusive
+    read(machine, 1, 0)  # new reader gets exclusive again
+    line = machine.caches[1].holds(0)
+    assert line is not None and line.local is LocalState.EXCLUSIVE
+    assert_clean_audit(machine)
+
+
+def test_fewer_controller_transactions_than_plain_fullmap():
+    plain = uniform_machine("fullmap", n=4, n_blocks=64, seed=5, refs=1200)
+    local = uniform_machine("fullmap_local", n=4, n_blocks=64, seed=5, refs=1200)
+    t_plain = sum(c.counters["transactions"] for c in plain.controllers)
+    t_local = sum(c.counters["transactions"] for c in local.controllers)
+    upgrades = sum(c.counters["silent_upgrades"] for c in local.caches)
+    assert upgrades > 0
+    assert t_local < t_plain
+    assert_clean_audit(local)

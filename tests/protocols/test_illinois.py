@@ -1,0 +1,143 @@
+"""Illinois / MESI bus scheme (§2.5)."""
+
+from repro.cache.line import LocalState
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "illinois")
+    overrides.setdefault("network", "bus")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def line_of(machine, pid, block):
+    return machine.caches[pid].holds(block)
+
+
+def test_lone_read_fills_exclusive():
+    machine = fresh()
+    read(machine, 0, 3)
+    line = line_of(machine, 0, 3)
+    assert line.local is LocalState.EXCLUSIVE
+    assert machine.caches[0].counters["exclusive_fills"] == 1
+    assert_clean_audit(machine)
+
+
+def test_second_reader_shares_and_downgrades():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    assert line_of(machine, 0, 3).local is LocalState.SHARED
+    assert line_of(machine, 1, 3).local is LocalState.SHARED
+    assert_clean_audit(machine)
+
+
+def test_cache_to_cache_transfer_on_read():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    manager = machine.managers[0]
+    assert manager.counters["cache_to_cache_transfers"] == 1
+    assert manager.counters["memory_supplies"] == 1  # only the first read
+    assert_clean_audit(machine)
+
+
+def test_silent_upgrade_from_exclusive():
+    machine = fresh()
+    read(machine, 0, 3)
+    txns_before = machine.managers[0].counters["txn_bus_inv"]
+    result = write(machine, 0, 3)
+    assert result.hit
+    assert machine.caches[0].counters["silent_upgrades"] == 1
+    assert machine.managers[0].counters["txn_bus_inv"] == txns_before
+    assert line_of(machine, 0, 3).modified
+    assert_clean_audit(machine)
+
+
+def test_shared_upgrade_uses_invalidation_only():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    write(machine, 0, 3)
+    manager = machine.managers[0]
+    assert manager.counters["txn_bus_inv"] == 1
+    assert line_of(machine, 1, 3) is None
+    assert_clean_audit(machine)
+
+
+def test_dirty_owner_supplies_and_flushes_on_read():
+    machine = fresh()
+    v = write(machine, 0, 3).version
+    result = read(machine, 1, 3)
+    assert result.version == v
+    assert machine.modules[0].peek(3) == v
+    assert line_of(machine, 0, 3).local is LocalState.SHARED
+    assert not line_of(machine, 0, 3).modified
+    assert_clean_audit(machine)
+
+
+def test_write_miss_takes_ownership_from_dirty():
+    machine = fresh()
+    write(machine, 0, 3)
+    write(machine, 1, 3)
+    assert line_of(machine, 0, 3) is None
+    assert line_of(machine, 1, 3).modified
+    assert_clean_audit(machine)
+
+
+def test_upgrade_race_one_converts():
+    from repro.workloads.reference import MemRef, Op
+
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    results = []
+    machine.caches[0].access(MemRef(0, Op.WRITE, 3, shared=True), results.append)
+    machine.caches[1].access(MemRef(1, Op.WRITE, 3, shared=True), results.append)
+    machine.sim.run(max_events=100_000)
+    assert len(results) == 2
+    assert machine.managers[0].counters["conversions"] == 1
+    assert_clean_audit(machine)
+
+
+def test_multiple_shared_suppliers_tolerated():
+    machine = fresh(n=4)
+    for pid in range(3):
+        read(machine, pid, 3)  # three S copies
+    read(machine, 3, 3)  # all three offer; priority-select must not raise
+    assert_clean_audit(machine)
+
+
+def test_hammer_run_stays_coherent():
+    machine = uniform_machine(
+        "illinois", network="bus", n=8, n_blocks=8, seed=14, refs=1200,
+        write_frac=0.5,
+    )
+    assert_clean_audit(machine)
+
+
+def test_illinois_beats_write_once_on_latency_and_memory_trips():
+    wo = uniform_machine(
+        "write_once", network="bus", n=4, n_blocks=64, seed=15, refs=1200,
+        write_frac=0.4,
+    )
+    il = uniform_machine(
+        "illinois", network="bus", n=4, n_blocks=64, seed=15, refs=1200,
+        write_frac=0.4,
+    )
+    # The Illinois advantages: cache-to-cache supply avoids the memory
+    # round trip, and E-state writes are silent where write-once pays a
+    # write-through word on the bus.
+    assert il.managers[0].counters["memory_supplies"] < (
+        wo.managers[0].counters["memory_supplies"]
+    )
+    assert il.results().avg_latency < wo.results().avg_latency
+    assert sum(c.counters["silent_upgrades"] for c in il.caches) > 0
+    assert sum(c.counters["write_through_words"] for c in wo.caches) > 0

@@ -1,0 +1,72 @@
+"""§4.1's other side: sequential selective sends vs one-shot broadcasts.
+
+"The n+1 bit scheme requires the sending of PURGE and INVALIDATE commands
+to all owning caches ... this approach requires time to select the
+recipients and sequential message handling.  In contrast, the two-bit
+approach does not have these requirements."  The paper then assumes the
+difference is negligible; `selective_send_overhead` lets us not assume.
+"""
+
+from repro.config import MachineConfig, ProtocolOptions, TimingConfig
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.reference import MemRef, Op
+from repro.workloads.synthetic import ScriptedWorkload
+
+from tests.conftest import read, write
+
+N = 6
+
+
+def build(protocol, overhead, tbuf=0):
+    workload = ScriptedWorkload([[] for _ in range(N)])
+    config = MachineConfig(
+        n_processors=N,
+        n_modules=1,
+        n_blocks=8,
+        cache_sets=2,
+        cache_assoc=2,
+        protocol=protocol,
+        timing=TimingConfig(selective_send_overhead=overhead),
+        options=ProtocolOptions(translation_buffer_entries=tbuf),
+    )
+    return build_machine(config, workload)
+
+
+def writer_latency_with_many_sharers(machine):
+    """All other caches read block 1, then cache 0 writes it."""
+    for pid in range(N):
+        read(machine, pid, 1)
+    result = write(machine, 0, 1)
+    audit_machine(machine).raise_if_failed()
+    return result.latency
+
+
+def test_default_overhead_is_zero_and_free():
+    fast = writer_latency_with_many_sharers(build("fullmap", overhead=0))
+    slow = writer_latency_with_many_sharers(build("fullmap", overhead=3))
+    # Five sequential invalidations at 3 cycles each land 12 cycles later.
+    assert slow == fast + (N - 2) * 3
+
+
+def test_broadcast_unaffected_by_the_knob():
+    a = writer_latency_with_many_sharers(build("twobit", overhead=0))
+    b = writer_latency_with_many_sharers(build("twobit", overhead=3))
+    assert a == b  # broadcasts launch in one shot
+
+
+def test_translation_buffer_inherits_sequential_cost():
+    """The §4.4 buffer converts broadcasts into selective sends — which
+    then pay the same sequential handling as the full map's."""
+    free = writer_latency_with_many_sharers(build("twobit", overhead=0, tbuf=16))
+    priced = writer_latency_with_many_sharers(build("twobit", overhead=3, tbuf=16))
+    assert priced > free
+
+
+def test_crossover_broadcast_vs_sequential():
+    """With sequential handling priced in, the broadcast's single launch
+    beats selective sends once enough sharers must be invalidated — the
+    trade-off §4.1 names and then sets aside."""
+    twobit = writer_latency_with_many_sharers(build("twobit", overhead=4))
+    fullmap = writer_latency_with_many_sharers(build("fullmap", overhead=4))
+    assert twobit < fullmap

@@ -1,0 +1,100 @@
+"""Static software-enforced scheme (§2.2)."""
+
+from repro.config import MachineConfig
+from repro.system.builder import build_machine
+from repro.workloads.reference import MemRef, Op
+from repro.workloads.synthetic import ScriptedWorkload
+
+from tests.conftest import (
+    assert_clean_audit,
+    drive,
+    scripted_machine,
+    uniform_machine,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "static")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def sread(machine, pid, block, shared=True):
+    return drive(machine, pid, Op.READ, block, shared=shared)
+
+
+def swrite(machine, pid, block, shared=True):
+    return drive(machine, pid, Op.WRITE, block, shared=shared)
+
+
+def test_shared_blocks_never_cached():
+    machine = fresh()
+    sread(machine, 0, 3, shared=True)
+    assert machine.caches[0].holds(3) is None
+    swrite(machine, 0, 3, shared=True)
+    assert machine.caches[0].holds(3) is None
+    assert_clean_audit(machine)
+
+
+def test_shared_accesses_serialize_at_memory():
+    machine = fresh()
+    v = swrite(machine, 0, 3).version
+    result = sread(machine, 1, 3)
+    assert result.version == v
+    assert machine.modules[0].peek(3) == v
+    assert_clean_audit(machine)
+
+
+def test_private_blocks_cached_write_back():
+    machine = fresh()
+    result = sread(machine, 0, 1, shared=False)
+    assert not result.hit
+    again = sread(machine, 0, 1, shared=False)
+    assert again.hit
+    v = swrite(machine, 0, 1, shared=False).version
+    # Dirty private data stays local until evicted.
+    assert machine.modules[0].peek(1) == 0
+    sread(machine, 0, 3, shared=False)
+    sread(machine, 0, 5, shared=False)  # evicts block 1 (set conflict)
+    assert machine.modules[0].peek(1) == v
+    assert_clean_audit(machine)
+
+
+def test_no_coherence_commands_at_all():
+    machine = uniform_machine("static", n=4, seed=8, refs=600)
+    assert sum(c.counters["snoop_commands"] for c in machine.caches) == 0
+    assert sum(c.counters["stolen_cycles"] for c in machine.caches) == 0
+    assert_clean_audit(machine)
+
+
+def test_shared_latency_pays_memory_every_time():
+    machine = fresh()
+    first = sread(machine, 0, 3)
+    second = sread(machine, 0, 3)
+    # No caching: the second access is just as slow.
+    assert second.latency >= first.latency - 1
+
+
+def test_mistagged_sharing_is_incoherent():
+    """The scheme depends on the software tags: two processors touching
+    one block tagged *private* produce a stale read — demonstrating why
+    §2.2 alone cannot support process migration or shared writes."""
+    filler = [MemRef(1, Op.READ, b, shared=False) for b in (0, 2, 4, 0, 2)]
+    scripts = [
+        [MemRef(0, Op.READ, 1, shared=False), MemRef(0, Op.WRITE, 1, shared=False)],
+        # P1 does unrelated work first so P0's write commits, then reads
+        # the mistagged block and sees stale memory.
+        filler + [MemRef(1, Op.READ, 1, shared=False)],
+    ]
+    config = MachineConfig(
+        n_processors=2,
+        n_modules=1,
+        n_blocks=8,
+        cache_sets=2,
+        cache_assoc=2,
+        protocol="static",
+        strict_coherence=False,  # record, don't raise
+    )
+    machine = build_machine(config, ScriptedWorkload(scripts))
+    # P0 caches block 1 and dirties it; P1 then reads stale memory.
+    machine.run(refs_per_proc=10)
+    assert machine.oracle.violations or machine.oracle.writes_committed == 0

@@ -1,0 +1,138 @@
+"""Goodman's write-once bus scheme (§2.5)."""
+
+from repro.cache.line import LocalState
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "write_once")
+    overrides.setdefault("network", "bus")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def line_of(machine, pid, block):
+    return machine.caches[pid].holds(block)
+
+
+def test_read_miss_fills_valid():
+    machine = fresh()
+    result = read(machine, 0, 3)
+    assert not result.hit
+    line = line_of(machine, 0, 3)
+    assert line is not None and not line.modified
+    assert line.local is LocalState.NONE
+    assert_clean_audit(machine)
+
+
+def test_first_write_goes_through_to_memory_reserved():
+    machine = fresh()
+    read(machine, 0, 3)
+    v = write(machine, 0, 3).version
+    line = line_of(machine, 0, 3)
+    assert line.local is LocalState.RESERVED
+    assert not line.modified
+    # The hallmark of write-once: memory is current after the first write.
+    assert machine.modules[0].peek(3) == v
+    assert machine.caches[0].counters["write_through_words"] == 1
+    assert_clean_audit(machine)
+
+
+def test_second_write_is_local_dirty():
+    machine = fresh()
+    read(machine, 0, 3)
+    v1 = write(machine, 0, 3).version
+    v2 = write(machine, 0, 3).version
+    line = line_of(machine, 0, 3)
+    assert line.modified
+    assert machine.modules[0].peek(3) == v1  # second write stayed local
+    assert v2 > v1
+    assert_clean_audit(machine)
+
+
+def test_first_write_invalidates_other_copies():
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    write(machine, 0, 3)
+    assert line_of(machine, 1, 3) is None
+    assert_clean_audit(machine)
+
+
+def test_dirty_owner_supplies_read_and_flushes():
+    machine = fresh()
+    read(machine, 0, 3)
+    write(machine, 0, 3)
+    v = write(machine, 0, 3).version  # dirty
+    result = read(machine, 1, 3)
+    assert result.version == v
+    assert machine.modules[0].peek(3) == v  # flushed during the snoop
+    owner = line_of(machine, 0, 3)
+    assert owner is not None and not owner.modified  # degraded to Valid
+    assert machine.caches[0].counters["dirty_supplies"] == 1
+    assert_clean_audit(machine)
+
+
+def test_write_miss_fetches_and_dirties():
+    machine = fresh()
+    result = write(machine, 0, 3)
+    line = line_of(machine, 0, 3)
+    assert line.modified
+    assert not result.hit
+    assert_clean_audit(machine)
+
+
+def test_reserved_eviction_is_silent():
+    machine = fresh()
+    read(machine, 0, 0)
+    v = write(machine, 0, 0).version  # Reserved: memory already current
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts block 0
+    assert machine.modules[0].peek(0) == v
+    manager = machine.managers[0]
+    assert manager.counters["writebacks"] == 0
+    assert_clean_audit(machine)
+
+
+def test_dirty_eviction_writes_back():
+    machine = fresh()
+    read(machine, 0, 0)
+    write(machine, 0, 0)
+    v = write(machine, 0, 0).version  # Dirty
+    read(machine, 0, 2)
+    read(machine, 0, 4)
+    assert machine.modules[0].peek(0) == v
+    assert machine.managers[0].counters["writebacks"] == 1
+    assert_clean_audit(machine)
+
+
+def test_upgrade_race_converts_to_rdx():
+    """Two Valid holders write 'simultaneously': the loser's write-once
+    word write finds its line invalidated and converts to a full
+    read-exclusive."""
+    from repro.workloads.reference import MemRef, Op
+
+    machine = fresh()
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    results = []
+    machine.caches[0].access(MemRef(0, Op.WRITE, 3, shared=True), results.append)
+    machine.caches[1].access(MemRef(1, Op.WRITE, 3, shared=True), results.append)
+    machine.sim.run(max_events=100_000)
+    assert len(results) == 2
+    assert machine.managers[0].counters["conversions"] == 1
+    assert_clean_audit(machine)
+
+
+def test_hammer_run_stays_coherent():
+    machine = uniform_machine(
+        "write_once", network="bus", n=8, n_blocks=8, seed=13, refs=1200,
+        write_frac=0.5,
+    )
+    assert_clean_audit(machine)

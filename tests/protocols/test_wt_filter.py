@@ -1,0 +1,140 @@
+"""Write-through two-bit filter ("twobit_wt", §2.4's directory-as-filter)."""
+
+from repro.config import MachineConfig
+from repro.core.states import GlobalState
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+from tests.conftest import (
+    assert_clean_audit,
+    read,
+    scripted_machine,
+    uniform_machine,
+    write,
+)
+
+
+def fresh(n=2, **overrides):
+    overrides.setdefault("protocol", "twobit_wt")
+    return scripted_machine([[] for _ in range(n)], n_modules=1, **overrides)
+
+
+def state(machine, block):
+    return machine.controllers[0].directory.state(block)
+
+
+def test_fetch_tracks_presence():
+    machine = fresh()
+    read(machine, 0, 3)
+    assert state(machine, 3) is GlobalState.PRESENT1
+    read(machine, 1, 3)
+    assert state(machine, 3) is GlobalState.PRESENT_STAR
+    assert_clean_audit(machine)
+
+
+def test_store_to_uncached_block_is_filtered():
+    machine = fresh(n=4)
+    write(machine, 0, 3)  # nobody holds it: no signals
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["stores_filtered"] == 1
+    assert ctrl.counters["invalidation_signals"] == 0
+    assert state(machine, 3) is GlobalState.ABSENT  # no-write-allocate
+    assert_clean_audit(machine)
+
+
+def test_sole_holder_store_is_filtered():
+    machine = fresh(n=4)
+    read(machine, 0, 3)  # Present1 {cache0}
+    write(machine, 0, 3)  # sole holder writes: filtered
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["stores_filtered"] == 1
+    assert ctrl.counters["invalidation_signals"] == 0
+    assert state(machine, 3) is GlobalState.PRESENT1
+    assert_clean_audit(machine)
+
+
+def test_shared_store_signals_like_classical():
+    machine = fresh(n=4)
+    read(machine, 0, 3)
+    read(machine, 1, 3)
+    write(machine, 0, 3)  # Present*: full n-1 signal round
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["invalidation_signals"] == 3
+    assert machine.caches[1].holds(3) is None
+    assert state(machine, 3) is GlobalState.PRESENT1  # writer kept its copy
+    write(machine, 0, 3)  # now sole holder: filtered
+    assert ctrl.counters["invalidation_signals"] == 3
+    assert_clean_audit(machine)
+
+
+def test_eviction_notice_returns_present1_to_absent():
+    machine = fresh()
+    read(machine, 0, 0)
+    read(machine, 0, 2)
+    read(machine, 0, 4)  # evicts block 0 (set conflict)
+    assert state(machine, 0) is GlobalState.ABSENT
+    assert machine.controllers[0].counters["eject_present1_to_absent"] == 1
+    write(machine, 1, 0)  # filtered: the eject made the block Absent
+    assert machine.controllers[0].counters["invalidation_signals"] == 0
+    assert_clean_audit(machine)
+
+
+def test_filter_eliminates_most_classical_traffic():
+    def signals(protocol):
+        workload = DuboisBriggsWorkload(
+            n_processors=4, q=0.05, w=0.2, private_blocks_per_proc=128, seed=9
+        )
+        config = MachineConfig(
+            n_processors=4, n_modules=2, n_blocks=workload.n_blocks,
+            protocol=protocol,
+        )
+        machine = build_machine(config, workload)
+        machine.run(refs_per_proc=1500, warmup_refs=300)
+        audit_machine(machine).raise_if_failed()
+        return sum(
+            c.counters["invalidation_signals"] for c in machine.controllers
+        )
+
+    classical = signals("classical")
+    filtered = signals("twobit_wt")
+    # §2.4: "only those caches with copies of a block being written into
+    # need to receive invalidation signals" — the map removes the rest.
+    assert filtered < classical / 10
+
+
+def test_presentm_never_used():
+    machine = uniform_machine("twobit_wt", n=4, refs=800, seed=3)
+    for ctrl in machine.controllers:
+        hist = ctrl.directory.histogram()
+        assert hist[GlobalState.PRESENTM] == 0
+    assert_clean_audit(machine)
+
+
+def test_hammer_with_tie_fuzzing():
+    from repro.config import ProtocolOptions
+    from repro.workloads.synthetic import UniformWorkload
+
+    for tie in (1, 2, 3):
+        workload = UniformWorkload(
+            n_processors=4, n_blocks=8, write_frac=0.5, seed=tie
+        )
+        config = MachineConfig(
+            n_processors=4, n_modules=2, n_blocks=8, cache_sets=2,
+            cache_assoc=2, protocol="twobit_wt", tie_seed=tie,
+        )
+        machine = build_machine(config, workload)
+        machine.run(refs_per_proc=700)
+        audit_machine(machine).raise_if_failed()
+
+
+def test_regression_stale_hit_claim():
+    """Two same-block stores race: the loser's send-time 'hit' claim is
+    stale at commit (its copy died in the winner's round).  Trusting it
+    skipped a required invalidation and left the winner's copy stale."""
+    machine = uniform_machine("twobit_wt", n=4, refs=800, seed=1)
+    stale_claims = sum(
+        c.counters["hit_claims_stale_at_commit"] for c in machine.controllers
+    )
+    assert stale_claims > 0  # the hazard fires on this seed
+    assert_clean_audit(machine)

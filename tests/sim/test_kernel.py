@@ -1,0 +1,149 @@
+"""Simulation kernel: ordering, cancellation, run bounds."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(5, order.append, "late")
+    sim.schedule(1, order.append, "early")
+    sim.schedule(3, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+    assert sim.now == 5
+
+
+def test_ties_break_by_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in ("a", "b", "c"):
+        sim.schedule(2, order.append, tag)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_schedule_relative_and_absolute_agree():
+    sim = Simulator()
+    seen = []
+    sim.at(7, seen.append, "abs")
+    sim.schedule(7, seen.append, "rel")
+    sim.run()
+    assert seen == ["abs", "rel"]
+    assert sim.now == 7
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    hits = []
+
+    def chain(depth):
+        hits.append(depth)
+        if depth < 3:
+            sim.schedule(1, chain, depth + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert hits == [0, 1, 2, 3]
+    assert sim.now == 3
+
+
+def test_cancelled_events_do_not_run():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule(1, hits.append, "no")
+    sim.schedule(1, hits.append, "yes")
+    event.cancel()
+    sim.run()
+    assert hits == ["yes"]
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    hits = []
+    sim.schedule(2, hits.append, "in")
+    sim.schedule(10, hits.append, "out")
+    sim.run(until=5)
+    assert hits == ["in"]
+    assert sim.now == 5
+    sim.run()
+    assert hits == ["in", "out"]
+
+
+def test_run_until_advances_clock_with_empty_queue():
+    sim = Simulator()
+    sim.run(until=42)
+    assert sim.now == 42
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_scheduling_in_the_past_rejected():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(3, lambda: None)
+
+
+def test_max_events_guard_catches_livelock():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    with pytest.raises(SimulationError, match="livelock"):
+        sim.run(max_events=50)
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    hits = []
+    sim.schedule(1, hits.append, 1)
+    sim.schedule(2, hits.append, 2)
+    assert sim.step() is True
+    assert hits == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert hits == [1, 2]
+
+
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    keep = sim.schedule(1, lambda: None)
+    drop = sim.schedule(2, lambda: None)
+    drop.cancel()
+    assert sim.pending == 1
+    assert not sim.drain_check()
+    sim.run()
+    assert sim.drain_check()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, reenter)
+    sim.run()
+    assert len(errors) == 1

@@ -1,0 +1,73 @@
+"""Message tracer."""
+
+from repro.sim.trace import MessageTracer
+
+from tests.conftest import read, scripted_machine, write
+
+
+def test_captures_sends_and_broadcasts():
+    machine = scripted_machine([[], []])
+    tracer = MessageTracer.attach(machine)
+    read(machine, 0, 1)
+    read(machine, 1, 1)
+    write(machine, 0, 1)  # MREQUEST -> BROADINV -> MGRANTED
+    assert len(tracer) > 0
+    assert tracer.of_kind("broadcast")
+    assert tracer.of_kind("send")
+    assert tracer.of_kind("state")
+    assert any("BROADINV" in e.detail for e in tracer.entries)
+
+
+def test_block_filter():
+    machine = scripted_machine([[], []])
+    tracer = MessageTracer.attach(machine, blocks={3})
+    read(machine, 0, 1)
+    read(machine, 0, 3)
+    assert tracer.entries
+    assert all(e.block == 3 for e in tracer.entries)
+    assert tracer.for_block(1) == []
+    assert tracer.for_block(3)
+
+
+def test_render():
+    machine = scripted_machine([[], []])
+    tracer = MessageTracer.attach(machine)
+    read(machine, 0, 1)
+    text = tracer.render(last=2)
+    assert "trace:" in text
+    assert "showing last 2" in text or len(tracer) <= 2
+    empty = MessageTracer(machine)
+    assert empty.render() == "(trace empty)"
+
+
+def test_detach_restores_behaviour():
+    machine = scripted_machine([[], []])
+    tracer = MessageTracer.attach(machine)
+    read(machine, 0, 1)
+    count = len(tracer)
+    tracer.detach()
+    read(machine, 1, 1)
+    assert len(tracer) == count  # nothing new captured
+    # The machine still functions normally after detach.
+    result = write(machine, 0, 1)
+    assert result.version > 0
+
+
+def test_double_attach_rejected():
+    import pytest
+
+    machine = scripted_machine([[], []])
+    tracer = MessageTracer.attach(machine)
+    with pytest.raises(RuntimeError):
+        tracer._attach()
+    tracer.detach()
+    tracer.detach()  # idempotent
+
+
+def test_state_transitions_traced_with_block_filter():
+    machine = scripted_machine([[], []])
+    tracer = MessageTracer.attach(machine, blocks={2})
+    write(machine, 0, 2)
+    states = tracer.of_kind("state")
+    assert states
+    assert any("PRESENTM" in e.detail for e in states)

@@ -1,0 +1,46 @@
+"""Paper-vs-measured comparison reporting."""
+
+from repro.stats.comparison import ComparisonCell, ComparisonReport
+
+
+def test_cell_errors():
+    cell = ComparisonCell("x", paper=2.0, measured=2.1)
+    assert abs(cell.abs_error - 0.1) < 1e-12
+    assert abs(cell.rel_error - 0.05) < 1e-12
+
+
+def test_cell_rel_error_none_for_zero_paper():
+    cell = ComparisonCell("x", paper=0.0, measured=0.001)
+    assert cell.rel_error is None
+
+
+def test_cell_matches_tolerances():
+    assert ComparisonCell("x", 1.0, 1.04).matches(rel_tol=0.05)
+    assert not ComparisonCell("x", 1.0, 1.2).matches(rel_tol=0.05)
+    assert ComparisonCell("x", 0.0, 0.0005).matches(abs_tol=1e-3)
+
+
+def test_report_counts_and_worst():
+    report = ComparisonReport("exp")
+    report.add("a", 1.0, 1.0)
+    report.add("b", 1.0, 2.0)
+    assert report.n_matching() == 1
+    assert report.worst().label == "b"
+    assert report.max_rel_error() == 1.0
+
+
+def test_report_render_flags_deviations():
+    report = ComparisonReport("exp")
+    report.add("good", 1.0, 1.0)
+    report.add("bad", 1.0, 3.0, note="why")
+    text = report.render()
+    assert "deviates" in text
+    assert "[why]" in text
+    assert "1/2 cells" in text
+
+
+def test_empty_report():
+    report = ComparisonReport("exp")
+    assert report.worst() is None
+    assert report.max_rel_error() == 0.0
+    assert "0/0" in report.render()

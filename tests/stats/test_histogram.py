@@ -1,0 +1,69 @@
+"""Integer histograms."""
+
+import pytest
+
+from repro.stats.histogram import Histogram
+
+
+def test_empty():
+    hist = Histogram("x")
+    assert len(hist) == 0
+    assert hist.mean == 0.0
+    assert hist.min is None and hist.max is None
+    assert hist.percentile(0.5) is None
+    assert "empty" in hist.summary()
+
+
+def test_basic_statistics():
+    hist = Histogram()
+    for value in (1, 2, 2, 3, 10):
+        hist.add(value)
+    assert len(hist) == 5
+    assert hist.mean == pytest.approx(3.6)
+    assert hist.min == 1 and hist.max == 10
+    assert hist.percentile(0.5) == 2
+    assert hist.percentile(1.0) == 10
+    assert hist.percentile(0.0) == 1
+
+
+def test_weighted_add():
+    hist = Histogram()
+    hist.add(5, count=10)
+    assert len(hist) == 10
+    assert hist.mean == 5.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        Histogram().percentile(1.5)
+    with pytest.raises(ValueError):
+        Histogram().add(1, count=-1)
+
+
+def test_merge():
+    a, b = Histogram(), Histogram()
+    a.add(1)
+    b.add(3, count=2)
+    a.merge(b)
+    assert len(a) == 3
+    assert a.snapshot() == {1: 1, 3: 2}
+
+
+def test_items_sorted():
+    hist = Histogram()
+    hist.add(5)
+    hist.add(1)
+    assert hist.items() == [(1, 1), (5, 1)]
+
+
+def test_render_small_and_bucketed():
+    hist = Histogram("lat")
+    for value in range(5):
+        hist.add(value, count=value + 1)
+    text = hist.render()
+    assert "lat" in text and "#" in text
+    big = Histogram()
+    for value in range(200):
+        big.add(value)
+    bucketed = big.render(max_rows=10)
+    assert "-" in bucketed.splitlines()[1]  # range labels

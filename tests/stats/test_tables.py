@@ -1,0 +1,61 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.stats.tables import Table, format_cell
+
+
+def test_format_cell_float_precision():
+    assert format_cell(0.123456) == "0.123"
+    assert format_cell(0.123456, precision=1) == "0.1"
+
+
+def test_format_cell_none_blank_and_passthrough():
+    assert format_cell(None) == ""
+    assert format_cell("w = 0.1") == "w = 0.1"
+    assert format_cell(7) == "7"
+
+
+def test_basic_layout_right_aligns_numbers():
+    table = Table(["n:", "4", "8"])
+    table.add_row(["w", 0.5, 12.25])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("n:")
+    assert lines[1].endswith("12.250")
+    assert "0.500" in lines[1]
+
+
+def test_title_and_sections():
+    table = Table(["a", "b"], title="demo")
+    table.add_section("case 1:")
+    table.add_row(["x", 1])
+    rendered = table.render()
+    assert rendered.splitlines()[0] == "demo"
+    assert "case 1:" in rendered
+    assert table.n_data_rows == 1
+
+
+def test_short_rows_padded():
+    table = Table(["a", "b", "c"])
+    table.add_row(["x"])
+    assert table.render()  # no exception; padding applied
+
+
+def test_too_wide_row_rejected():
+    table = Table(["a"])
+    with pytest.raises(ValueError):
+        table.add_row(["x", "y"])
+
+
+def test_columns_widen_to_fit():
+    table = Table(["h", "v"])
+    table.add_row(["somewhat-long-label", 1])
+    line = table.render().splitlines()[1]
+    assert line.startswith("somewhat-long-label")
+
+
+def test_str_matches_render():
+    table = Table(["a"])
+    table.add_row([1])
+    assert str(table) == table.render()

@@ -1,0 +1,77 @@
+"""Machine assembly."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.interconnect.bus import Bus
+from repro.interconnect.delta import DeltaNetwork
+from repro.interconnect.network import PointToPointNetwork
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import UniformWorkload
+
+
+def workload(n=2, blocks=8):
+    return UniformWorkload(n_processors=n, n_blocks=blocks)
+
+
+def test_builds_requested_shape():
+    config = MachineConfig(n_processors=3, n_modules=2, n_blocks=8)
+    machine = build_machine(config, workload(3))
+    assert len(machine.caches) == 3
+    assert len(machine.processors) == 3
+    assert len(machine.controllers) == 2
+    assert len(machine.modules) == 2
+
+
+def test_every_block_has_exactly_one_home():
+    config = MachineConfig(n_processors=2, n_modules=3, n_blocks=10)
+    machine = build_machine(config, workload(2))
+    owners = [sum(m.owns(b) for m in machine.modules) for b in range(10)]
+    assert owners == [1] * 10
+
+
+def test_network_selection():
+    for name, cls in (
+        ("xbar", PointToPointNetwork),
+        ("bus", Bus),
+        ("delta", DeltaNetwork),
+    ):
+        config = MachineConfig(network=name, n_processors=2)
+        machine = build_machine(config, workload(2))
+        assert isinstance(machine.network, cls)
+
+
+def test_processor_count_mismatch_rejected():
+    config = MachineConfig(n_processors=4)
+    with pytest.raises(ValueError, match="drives 2 processors"):
+        build_machine(config, workload(2))
+
+
+def test_workload_too_big_for_address_space_rejected():
+    config = MachineConfig(n_processors=2, n_blocks=4)
+    with pytest.raises(ValueError, match="address space"):
+        build_machine(config, workload(2, blocks=100))
+
+
+def test_snoop_machine_has_manager_no_controllers():
+    config = MachineConfig(
+        n_processors=2, protocol="illinois", network="bus", n_blocks=8
+    )
+    machine = build_machine(config, workload(2))
+    assert len(machine.managers) == 1
+    assert machine.controllers == []
+    assert machine.managers[0].caches == machine.caches
+
+
+def test_classical_controllers_see_all_caches():
+    config = MachineConfig(n_processors=3, protocol="classical", n_blocks=8)
+    machine = build_machine(config, workload(3))
+    for ctrl in machine.controllers:
+        assert ctrl.caches == machine.caches
+
+
+def test_counters_registered_for_all_components():
+    config = MachineConfig(n_processors=2, n_modules=2, n_blocks=8)
+    machine = build_machine(config, workload(2))
+    machine.run(refs_per_proc=50)
+    assert machine.registry.total("refs") > 0

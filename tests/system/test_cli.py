@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+def test_tables_thresholds(capsys):
+    assert main(["tables", "thresholds"]) == 0
+    out = capsys.readouterr().out
+    assert "paper says" in out
+
+
+def test_tables_4_1_verbose(capsys):
+    assert main(["tables", "4-1", "-v"]) == 0
+    out = capsys.readouterr().out
+    assert "case 1" in out
+    assert "60/60 cells" in out
+
+
+def test_tables_4_2(capsys):
+    assert main(["tables", "4-2"]) == 0
+    assert "q = 0.01" in capsys.readouterr().out
+
+
+def test_tables_all_default(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4-1" in out and "Table 4-2" in out and "paper says" in out
+
+
+def test_topology_render(capsys):
+    assert main(["topology", "-n", "8", "-m", "4", "--network", "bus"]) == 0
+    out = capsys.readouterr().out
+    assert "8 processor-cache pairs" in out
+    assert "shared bus" in out
+
+
+def test_topology_build(capsys):
+    assert main(["topology", "--build", "-n", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "directory storage" in out
+
+
+def test_run_twobit(capsys):
+    code = main(
+        ["run", "--protocol", "twobit", "-n", "2", "--refs", "300",
+         "--warmup", "100"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "coherence audit: CLEAN" in out
+    assert "extra commands" in out
+
+
+def test_run_with_enhancements(capsys):
+    code = main(
+        ["run", "--protocol", "twobit", "-n", "2", "--refs", "200",
+         "--tbuf", "8", "--dup-dir"]
+    )
+    assert code == 0
+    assert "CLEAN" in capsys.readouterr().out
+
+
+def test_run_snoop_protocol_forces_bus(capsys):
+    code = main(
+        ["run", "--protocol", "illinois", "-n", "2", "--refs", "200"]
+    )
+    assert code == 0
+
+
+def test_run_verbose_prints_histogram_and_occupancy(capsys):
+    code = main(
+        ["run", "--protocol", "twobit", "-n", "2", "--refs", "200",
+         "--warmup", "50", "-v"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "p95" in out  # histogram summary
+    assert "PRESENT_STAR" in out  # occupancy block
+
+
+def test_spec_command(capsys):
+    assert main(["spec"]) == 0
+    out = capsys.readouterr().out
+    assert "BROADQUERY" in out and "PRESENTM" in out
+
+
+def test_parser_rejects_unknown_protocol():
+    parser = make_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--protocol", "nonsense"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,48 @@
+"""Configurable delta-network radix."""
+
+from repro.config import MachineConfig
+from repro.interconnect.delta import DeltaNetwork
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import UniformWorkload
+
+import pytest
+
+
+def build(radix, n=8):
+    workload = UniformWorkload(n_processors=n, n_blocks=16, seed=4)
+    config = MachineConfig(
+        n_processors=n,
+        n_modules=4,
+        n_blocks=16,
+        cache_sets=2,
+        cache_assoc=2,
+        network="delta",
+        delta_radix=radix,
+    )
+    return build_machine(config, workload)
+
+
+def test_radix_controls_stage_count():
+    assert isinstance(build(2).network, DeltaNetwork)
+    assert build(2).network.n_stages == 3  # 8 ports, 2x2 switches
+    assert build(4).network.n_stages == 2  # 8 ports, 4x4 switches
+    assert build(8).network.n_stages == 1
+
+
+def test_higher_radix_fewer_hop_cycles():
+    shallow = build(4)
+    deep = build(2)
+    shallow.run(refs_per_proc=400)
+    deep.run(refs_per_proc=400)
+    audit_machine(shallow).raise_if_failed()
+    audit_machine(deep).raise_if_failed()
+    assert (
+        shallow.network.counters["hop_cycles"]
+        < deep.network.counters["hop_cycles"]
+    )
+
+
+def test_invalid_radix_rejected():
+    with pytest.raises(ValueError):
+        MachineConfig(delta_radix=1)

@@ -1,0 +1,53 @@
+"""Per-reference latency distributions from the run harness."""
+
+from repro.config import MachineConfig
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import UniformWorkload
+
+from tests.conftest import uniform_machine
+
+
+def test_histogram_collects_all_references():
+    machine = uniform_machine("twobit", n=2, refs=300)
+    hist = machine.latency_histogram()
+    assert len(hist) == 600
+    assert hist.min >= 1  # at least the cache cycle
+    assert hist.max > hist.min  # misses are visibly slower than hits
+
+
+def test_histogram_mean_matches_results():
+    machine = uniform_machine("twobit", n=4, refs=400)
+    hist = machine.latency_histogram()
+    assert abs(hist.mean - machine.results().avg_latency) < 1e-9
+
+
+def test_hits_dominate_the_distribution_under_locality():
+    from repro.workloads.synthetic import DuboisBriggsWorkload
+
+    workload = DuboisBriggsWorkload(n_processors=2, q=0.02, seed=6)
+    config = MachineConfig(
+        n_processors=2, n_modules=1, n_blocks=workload.n_blocks
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=1500, warmup_refs=300)
+    hist = machine.latency_histogram()
+    # Median reference is a one-cycle cache hit; p99 shows the miss path.
+    assert hist.percentile(0.5) == 1
+    assert hist.percentile(0.99) > 10
+
+
+def test_measurement_window_resets_histograms():
+    workload = UniformWorkload(n_processors=2, n_blocks=8, seed=2)
+    config = MachineConfig(
+        n_processors=2, n_modules=1, n_blocks=8, cache_sets=2, cache_assoc=2
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=100, warmup_refs=500)
+    hist = machine.latency_histogram()
+    assert len(hist) == 200  # warm-up samples excluded
+
+
+def test_render_is_presentable():
+    machine = uniform_machine("twobit", n=2, refs=200)
+    text = machine.latency_histogram().render()
+    assert "latency" in text and "p95" in text

@@ -1,0 +1,91 @@
+"""Run harness: warm-up windows, results, introspection."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.states import GlobalState
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload, UniformWorkload
+
+from tests.conftest import uniform_machine
+
+
+def test_run_completes_budget():
+    machine = uniform_machine("twobit", n=2, refs=300)
+    for proc in machine.processors:
+        assert proc.completed == 300
+    assert machine.results().total_refs == 600
+
+
+def test_warmup_excluded_from_measurement():
+    wl = UniformWorkload(n_processors=2, n_blocks=8, seed=5)
+    config = MachineConfig(
+        n_processors=2, n_modules=1, n_blocks=8, cache_sets=2, cache_assoc=2
+    )
+    machine = build_machine(config, wl)
+    machine.run(refs_per_proc=100, warmup_refs=400)
+    refs_counted = sum(c.counters["refs"] for c in machine.caches)
+    assert refs_counted == 200  # only the measurement window
+    for proc in machine.processors:
+        assert proc.completed == 500  # both phases actually ran
+
+
+def test_results_fields_consistent():
+    machine = uniform_machine("twobit", n=4, refs=400)
+    r = machine.results()
+    assert r.protocol == "twobit"
+    assert r.n_processors == 4
+    assert 0 <= r.miss_ratio <= 1
+    assert r.extra_commands_per_ref <= r.commands_per_ref
+    assert r.avg_latency > 0
+    assert r.cycles > 0
+    assert "refs" in r.totals
+    summary = r.summary()
+    assert "extra commands" in summary and "twobit" in summary
+
+
+def test_shared_hit_ratio_none_without_shared_refs():
+    from repro.workloads.synthetic import DuboisBriggsWorkload
+
+    wl = DuboisBriggsWorkload(n_processors=2, q=0.0)
+    config = MachineConfig(
+        n_processors=2, n_modules=1, n_blocks=wl.n_blocks
+    )
+    machine = build_machine(config, wl)
+    machine.run(refs_per_proc=100)
+    assert machine.results().shared_hit_ratio is None
+
+
+def test_state_occupancy_over_shared_pool():
+    wl = DuboisBriggsWorkload(n_processors=4, q=0.2, w=0.3, seed=8)
+    config = MachineConfig(
+        n_processors=4, n_modules=2, n_blocks=wl.n_blocks
+    )
+    machine = build_machine(config, wl)
+    machine.run(refs_per_proc=1500, warmup_refs=300)
+    occ = machine.state_occupancy(blocks=wl.shared_blocks)
+    assert sum(occ.values()) == pytest.approx(1.0)
+    assert occ[GlobalState.PRESENTM] > 0  # writes happened
+
+
+def test_state_occupancy_requires_twobit():
+    machine = uniform_machine("fullmap", n=2, refs=50)
+    with pytest.raises(TypeError):
+        machine.state_occupancy()
+
+
+def test_translation_buffer_stats_empty_without_tbuf():
+    machine = uniform_machine("twobit", n=2, refs=50)
+    stats = machine.translation_buffer_stats()
+    assert stats["hit_ratio"] == 0.0
+    assert stats["selective_commands"] == 0.0
+
+
+def test_livelock_guard_raises():
+    from repro.sim.kernel import SimulationError
+
+    wl = UniformWorkload(n_processors=2, n_blocks=8)
+    config = MachineConfig(n_processors=2, n_modules=1, n_blocks=8)
+    machine = build_machine(config, wl)
+    with pytest.raises(SimulationError):
+        machine.run(refs_per_proc=100_000, max_events_per_ref=0)

@@ -1,0 +1,47 @@
+"""Figure 3-1 rendering and the storage-economy comparison."""
+
+from repro.config import MachineConfig
+from repro.system.topology import (
+    describe_machine,
+    directory_storage_comparison,
+    render_topology,
+)
+
+from tests.conftest import uniform_machine
+
+
+def test_render_mentions_all_parts():
+    text = render_topology(MachineConfig(n_processors=4, n_modules=2))
+    assert "[P0]" in text and "[C3]" in text
+    assert "[K0]" in text and "[M1]" in text
+    assert "crossbar" in text
+
+
+def test_render_elides_large_systems():
+    text = render_topology(MachineConfig(n_processors=64, n_modules=16))
+    assert "..." in text
+    assert "[P63]" not in text
+    assert "64 processor-cache pairs" in text
+
+
+def test_network_labels():
+    assert "shared bus" in render_topology(MachineConfig(network="bus"))
+    assert "delta" in render_topology(MachineConfig(network="delta"))
+
+
+def test_storage_comparison_two_bit_independent_of_n():
+    small = directory_storage_comparison(MachineConfig(n_processors=4))
+    large = directory_storage_comparison(MachineConfig(n_processors=64))
+    # Two-bit line identical; full-map line grows.
+    two_bit_small = [l for l in small.splitlines() if "two-bit" in l][0]
+    two_bit_large = [l for l in large.splitlines() if "two-bit" in l][0]
+    assert two_bit_small == two_bit_large
+    assert "65 bits/block" in large
+
+
+def test_describe_machine():
+    machine = uniform_machine("twobit", n=2, refs=10)
+    text = describe_machine(machine)
+    assert "Figure 3-1" in text
+    assert "lru replacement" in text
+    assert "ratio" in text

@@ -1,0 +1,64 @@
+"""The public API surface: everything advertised must import and exist."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.cache",
+    "repro.core",
+    "repro.interconnect",
+    "repro.memory",
+    "repro.processors",
+    "repro.protocols",
+    "repro.sim",
+    "repro.stats",
+    "repro.system",
+    "repro.verification",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for entry in module.__all__:
+        assert hasattr(module, entry), f"{name}.{entry} advertised but missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), name
+
+
+def test_top_level_quickstart_names():
+    for entry in (
+        "MachineConfig",
+        "DuboisBriggsWorkload",
+        "build_machine",
+        "audit_machine",
+        "TwoBitDirectoryController",
+        "GlobalState",
+    ):
+        assert hasattr(repro, entry)
+
+
+def test_version_is_set():
+    assert repro.__version__
+
+
+def test_public_classes_have_docstrings():
+    undocumented = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        for entry in module.__all__:
+            obj = getattr(module, entry)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(f"{name}.{entry}")
+    assert not undocumented, undocumented

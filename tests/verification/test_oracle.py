@@ -1,0 +1,98 @@
+"""Coherence oracle semantics."""
+
+import pytest
+
+from repro.verification.oracle import CoherenceOracle, CoherenceViolation
+
+
+def test_versions_monotone_and_unique():
+    oracle = CoherenceOracle()
+    versions = [oracle.new_version() for _ in range(5)]
+    assert versions == sorted(set(versions))
+
+
+def test_unwritten_block_reads_zero():
+    oracle = CoherenceOracle()
+    oracle.check_read(block=1, version=0, issue_time=10, pid=0)
+    assert oracle.ok
+
+
+def test_read_before_commit_may_see_old_value():
+    oracle = CoherenceOracle()
+    v = oracle.new_version()
+    oracle.commit_write(1, v, time=20, pid=0)
+    # Issued strictly before the commit: old value is legal.
+    oracle.check_read(1, 0, issue_time=19, pid=1)
+    # Issued exactly at commit time: not *strictly* before -> old ok too.
+    oracle.check_read(1, 0, issue_time=20, pid=1)
+    assert oracle.ok
+
+
+def test_stale_read_after_commit_raises():
+    oracle = CoherenceOracle()
+    v = oracle.new_version()
+    oracle.commit_write(1, v, time=20, pid=0)
+    with pytest.raises(CoherenceViolation):
+        oracle.check_read(1, 0, issue_time=21, pid=1)
+
+
+def test_reading_a_never_written_version_raises():
+    oracle = CoherenceOracle()
+    v = oracle.new_version()
+    oracle.commit_write(1, v, time=5, pid=0)
+    with pytest.raises(CoherenceViolation):
+        oracle.check_read(1, v + 7, issue_time=10, pid=1)
+
+
+def test_newer_than_required_is_fine():
+    oracle = CoherenceOracle()
+    v1 = oracle.new_version()
+    oracle.commit_write(1, v1, time=5, pid=0)
+    v2 = oracle.new_version()
+    oracle.commit_write(1, v2, time=15, pid=0)
+    oracle.check_read(1, v2, issue_time=10, pid=1)  # newer than floor v1
+    assert oracle.ok
+
+
+def test_non_strict_mode_records_without_raising():
+    oracle = CoherenceOracle(strict=False)
+    v = oracle.new_version()
+    oracle.commit_write(1, v, time=5, pid=0)
+    oracle.check_read(1, 0, issue_time=10, pid=1)
+    assert not oracle.ok
+    assert len(oracle.violations) == 1
+    assert "P1 read block 1" in oracle.violations[0]
+
+
+def test_commits_must_be_time_ordered_per_block():
+    oracle = CoherenceOracle()
+    oracle.commit_write(1, oracle.new_version(), time=10, pid=0)
+    with pytest.raises(ValueError):
+        oracle.commit_write(1, oracle.new_version(), time=5, pid=0)
+
+
+def test_blocks_are_independent():
+    oracle = CoherenceOracle()
+    v = oracle.new_version()
+    oracle.commit_write(1, v, time=5, pid=0)
+    oracle.check_read(2, 0, issue_time=50, pid=1)  # block 2 never written
+    assert oracle.ok
+
+
+def test_latest_version_and_time():
+    oracle = CoherenceOracle()
+    assert oracle.latest_version(3) == 0
+    assert oracle.latest_committer_time(3) is None
+    v = oracle.new_version()
+    oracle.commit_write(3, v, time=7, pid=0)
+    assert oracle.latest_version(3) == v
+    assert oracle.latest_committer_time(3) == 7
+
+
+def test_statistics():
+    oracle = CoherenceOracle()
+    v = oracle.new_version()
+    oracle.commit_write(1, v, time=1, pid=0)
+    oracle.check_read(1, v, issue_time=2, pid=1)
+    assert oracle.writes_committed == 1
+    assert oracle.reads_checked == 1

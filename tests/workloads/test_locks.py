@@ -1,0 +1,98 @@
+"""Lock-contention workload."""
+
+import pytest
+
+from repro.workloads.locks import LockContentionWorkload
+from repro.workloads.reference import Op
+
+
+def test_acquisition_pattern():
+    wl = LockContentionWorkload(
+        n_processors=1, n_locks=1, critical_section_refs=2, think_refs=1,
+        seed=3,
+    )
+    refs = wl.take(0, 6)
+    # read lock, write lock, 2 protected, write lock (release), think.
+    assert refs[0].op is Op.READ and refs[0].block == 0
+    assert refs[1].op is Op.WRITE and refs[1].block == 0
+    assert refs[2].block in wl.protected_pool(0)
+    assert refs[3].block in wl.protected_pool(0)
+    assert refs[4].op is Op.WRITE and refs[4].block == 0
+    assert refs[5].block in wl.private_pool(0)
+    assert not refs[5].shared
+
+
+def test_layout_disjoint():
+    wl = LockContentionWorkload(n_processors=2, n_locks=3)
+    pools = [set(range(wl.n_locks))]
+    pools += [set(wl.protected_pool(l)) for l in range(3)]
+    pools += [set(wl.private_pool(p)) for p in range(2)]
+    union = set()
+    for pool in pools:
+        assert not union & pool
+        union |= pool
+    assert max(union) + 1 == wl.n_blocks
+
+
+def test_deterministic_per_seed():
+    a = LockContentionWorkload(2, seed=7).take(1, 60)
+    b = LockContentionWorkload(2, seed=7).take(1, 60)
+    assert a == b
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LockContentionWorkload(2, n_locks=0)
+    with pytest.raises(ValueError):
+        LockContentionWorkload(2, critical_section_refs=-1)
+    wl = LockContentionWorkload(2)
+    with pytest.raises(ValueError):
+        wl.stream(2)
+    with pytest.raises(ValueError):
+        wl.lock_block(9)
+
+
+def test_hammers_the_mrequest_path():
+    """Lock traffic is §3.2.4's stress test: the acquire's read-then-
+    write lands on a clean copy, forcing MREQUESTs and their races."""
+    from repro.config import MachineConfig
+    from repro.system.builder import build_machine
+    from repro.verification.audit import audit_machine
+
+    wl = LockContentionWorkload(n_processors=4, n_locks=2, seed=5)
+    config = MachineConfig(
+        n_processors=4, n_modules=2, n_blocks=wl.n_blocks, protocol="twobit"
+    )
+    machine = build_machine(config, wl)
+    machine.run(refs_per_proc=1200)
+    audit_machine(machine).raise_if_failed()
+    mrequests = sum(
+        c.counters["write_hits_unmodified"] for c in machine.caches
+    )
+    refs = sum(c.counters["refs"] for c in machine.caches)
+    assert mrequests / refs > 0.05  # far above the uniform workload's rate
+    converted = sum(
+        c.counters["mreq_converted_to_miss"] for c in machine.caches
+    )
+    assert converted > 0  # real contention: §3.2.5 races actually fire
+
+
+def test_present1_payoff_on_uncontended_locks():
+    """With one processor per lock there is no contention and every
+    acquisition is the Present1 fast path: zero broadcasts."""
+    from repro.config import MachineConfig
+    from repro.system.builder import build_machine
+    from repro.verification.audit import audit_machine
+
+    wl = LockContentionWorkload(
+        n_processors=1, n_locks=1, think_refs=2, seed=9
+    )
+    config = MachineConfig(
+        n_processors=1, n_modules=1, n_blocks=wl.n_blocks, protocol="twobit"
+    )
+    machine = build_machine(config, wl)
+    machine.run(refs_per_proc=400)
+    audit_machine(machine).raise_if_failed()
+    ctrl = machine.controllers[0]
+    assert ctrl.counters["mreq_granted_present1"] > 0
+    assert ctrl.counters["broadinv_sent"] == 0

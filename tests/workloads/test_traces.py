@@ -1,0 +1,79 @@
+"""Trace capture and replay."""
+
+import pytest
+
+from repro.workloads.reference import MemRef, Op
+from repro.workloads.synthetic import DuboisBriggsWorkload
+from repro.workloads.traces import (
+    TraceWorkload,
+    read_trace,
+    record,
+    write_trace,
+)
+
+
+def sample_refs():
+    return [
+        MemRef(0, Op.READ, 1, shared=True),
+        MemRef(1, Op.WRITE, 2, shared=False),
+        MemRef(0, Op.WRITE, 1, shared=True),
+    ]
+
+
+def test_write_read_roundtrip(tmp_path):
+    path = tmp_path / "trace.txt"
+    refs = sample_refs()
+    assert write_trace(path, refs) == 3
+    assert read_trace(path) == refs
+
+
+def test_read_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n0 R 1 s\n# mid\n1 W 2 p\n")
+    refs = read_trace(path)
+    assert len(refs) == 2
+
+
+def test_read_reports_line_numbers(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 R 1 s\nnot a line at all here\n")
+    with pytest.raises(ValueError, match=":2:"):
+        read_trace(path)
+
+
+def test_record_interleaves_round_robin():
+    wl = DuboisBriggsWorkload(n_processors=2, seed=9)
+    refs = record(wl, refs_per_proc=5)
+    assert len(refs) == 10
+    assert [r.pid for r in refs] == [0, 1] * 5
+
+
+def test_trace_workload_replays_per_pid():
+    refs = sample_refs()
+    wl = TraceWorkload(refs)
+    assert wl.n_processors == 2
+    assert wl.refs_for(0) == [refs[0], refs[2]]
+    assert wl.refs_for(1) == [refs[1]]
+    assert wl.n_blocks == 3
+
+
+def test_trace_workload_from_file(tmp_path):
+    path = tmp_path / "trace.txt"
+    write_trace(path, sample_refs())
+    wl = TraceWorkload.from_file(path)
+    assert list(wl.stream(1)) == [sample_refs()[1]]
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        TraceWorkload([])
+
+
+def test_recorded_trace_replay_is_identical(tmp_path):
+    wl = DuboisBriggsWorkload(n_processors=3, seed=4)
+    refs = record(wl, refs_per_proc=20)
+    path = tmp_path / "t.txt"
+    write_trace(path, refs)
+    replay = TraceWorkload.from_file(path)
+    for pid in range(3):
+        assert replay.refs_for(pid) == [r for r in refs if r.pid == pid]
