@@ -17,7 +17,9 @@ from repro.system.builder import build_machine
 from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
 
-from benchmarks.conftest import emit
+from repro.runner import SweepPoint
+
+from benchmarks.conftest import emit, run_bench_sweep
 
 N = 8
 REFS = 2000
@@ -50,7 +52,12 @@ def run(options, seed=1984):
 
 
 def sweep():
-    return {name: run(options) for name, options in VARIANTS}
+    points = [
+        SweepPoint(run, {"options": options, "seed": 1984}, key=name)
+        for name, options in VARIANTS
+    ]
+    report = run_bench_sweep(points, label="ablations")
+    return {name: report.by_key[name] for name, _ in VARIANTS}
 
 
 def test_design_ablations(benchmark):

@@ -18,7 +18,9 @@ from repro.system.builder import build_machine
 from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
 
-from benchmarks.conftest import emit
+from repro.runner import SweepPoint
+
+from benchmarks.conftest import emit, run_bench_sweep
 
 N_VALUES = (2, 4, 8, 16)
 REFS = 1200
@@ -46,12 +48,17 @@ def run(protocol, n, seed=1984):
 
 
 def sweep():
-    rows = []
-    for n in N_VALUES:
-        tb = run("twobit", n)
-        fm = run("fullmap", n)
-        rows.append((n, tb, fm))
-    return rows
+    points = [
+        SweepPoint(run, {"protocol": protocol, "n": n, "seed": 1984},
+                   key=(protocol, n))
+        for n in N_VALUES
+        for protocol in ("twobit", "fullmap")
+    ]
+    report = run_bench_sweep(points, label="network_contention")
+    return [
+        (n, report.by_key[("twobit", n)], report.by_key[("fullmap", n)])
+        for n in N_VALUES
+    ]
 
 
 def test_broadcast_contention_on_delta_network(benchmark):

@@ -13,7 +13,9 @@ from repro.system.builder import build_machine
 from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
 
-from benchmarks.conftest import emit
+from repro.runner import SweepPoint
+
+from benchmarks.conftest import emit, run_bench_sweep
 
 N = 4
 REFS = 2000
@@ -48,7 +50,13 @@ def run(protocol, network, seed=1984):
 
 
 def sweep():
-    return {name: run(name, network) for name, network in PROTOCOLS}
+    points = [
+        SweepPoint(run, {"protocol": name, "network": network, "seed": 1984},
+                   key=name)
+        for name, network in PROTOCOLS
+    ]
+    report = run_bench_sweep(points, label="protocol_comparison")
+    return {name: report.by_key[name] for name, _ in PROTOCOLS}
 
 
 def test_protocol_comparison(benchmark):

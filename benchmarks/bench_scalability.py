@@ -14,7 +14,9 @@ from repro.system.builder import build_machine
 from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
 
-from benchmarks.conftest import emit
+from repro.runner import SweepPoint
+
+from benchmarks.conftest import emit, run_bench_sweep
 
 N_VALUES = (2, 4, 8, 16)
 REFS = 1200
@@ -40,8 +42,15 @@ def run(protocol, n, seed=1984):
 
 
 def sweep():
+    points = [
+        SweepPoint(run, {"protocol": protocol, "n": n, "seed": 1984},
+                   key=(protocol, n))
+        for protocol in ("twobit", "fullmap")
+        for n in N_VALUES
+    ]
+    report = run_bench_sweep(points, label="scalability")
     return {
-        protocol: {n: run(protocol, n) for n in N_VALUES}
+        protocol: {n: report.by_key[(protocol, n)] for n in N_VALUES}
         for protocol in ("twobit", "fullmap")
     }
 

@@ -22,7 +22,9 @@ from repro.system.builder import build_machine
 from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
 
-from benchmarks.conftest import emit
+from repro.runner import SweepPoint
+
+from benchmarks.conftest import emit, run_bench_sweep
 
 SHARING_LEVELS = [("low", 0.01), ("moderate", 0.05), ("high", 0.10)]
 N_VALUES = (2, 4, 8)
@@ -59,12 +61,17 @@ def run_cell(n, q, seed=1984):
 
 
 def sweep():
-    rows = []
-    for name, q in SHARING_LEVELS:
-        for n in N_VALUES:
-            measured, predicted = run_cell(n, q)
-            rows.append((name, q, n, measured, predicted))
-    return rows
+    points = [
+        SweepPoint(run_cell, {"n": n, "q": q, "seed": 1984}, key=(name, n))
+        for name, q in SHARING_LEVELS
+        for n in N_VALUES
+    ]
+    report = run_bench_sweep(points, label="sim_table_4_1")
+    return [
+        (name, q, n, *report.by_key[(name, n)])
+        for name, q in SHARING_LEVELS
+        for n in N_VALUES
+    ]
 
 
 def test_simulation_validates_analytic_model(benchmark):

@@ -8,9 +8,40 @@ reference stable outputs.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
+from typing import Sequence
+
+from repro.runner import CACHE_DIR_ENV, SweepPoint, SweepReport, run_sweep
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Sweep result cache for the bench suite (``$REPRO_SWEEP_CACHE`` wins).
+SWEEP_CACHE_DIR = Path(
+    os.environ.get(CACHE_DIR_ENV) or Path(__file__).parent / ".sweep_cache"
+)
+
+
+def sweep_workers() -> int:
+    """Worker processes per sweep (``$REPRO_SWEEP_WORKERS`` overrides)."""
+    return int(os.environ.get("REPRO_SWEEP_WORKERS", min(4, os.cpu_count() or 1)))
+
+
+def run_bench_sweep(points: Sequence[SweepPoint], label: str) -> SweepReport:
+    """Run a bench's sweep grid through the shared runner + cache.
+
+    The summary line is printed (visible with ``-s``) so cache hits on a
+    repeated invocation are observable.
+    """
+    report = run_sweep(
+        points,
+        workers=sweep_workers(),
+        cache_dir=SWEEP_CACHE_DIR,
+        label=label,
+    )
+    print()
+    print(report.summary())
+    return report
 
 
 def save_artifact(name: str, text: str) -> Path:

@@ -143,7 +143,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
         self._txns[message.block] = txn
         done = self.sim.now + self.config.timing.directory_access
         self.counters.add("transactions")
-        self.sim.at(done, self._dispatch, txn)
+        self.sim.post_at(done, self._dispatch, txn)
 
     def _dispatch(self, txn: _Txn) -> None:
         msg = txn.msg
@@ -184,7 +184,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             next_state = GlobalState.PRESENT_STAR
             self.tbuf.add_owner(block, requester)
         done = self._use_memory()
-        self.sim.at(done, self._grant_data_and_finish, txn, next_state, None)
+        self.sim.post_at(done, self._grant_data_and_finish, txn, next_state, None)
 
     # ==================================================================
     # §3.2.3 write miss
@@ -196,7 +196,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             # Case 1: plain fetch.
             self.tbuf.establish(block, {self._requester(txn)})
             done = self._use_memory()
-            self.sim.at(
+            self.sim.post_at(
                 done, self._grant_data_and_finish, txn, GlobalState.PRESENTM, None
             )
             return
@@ -323,7 +323,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             self._ack_eject_and_finish(txn)
             return
         done = self._use_memory()
-        self.sim.at(done, self._absorb_writeback, txn, version)
+        self.sim.post_at(done, self._absorb_writeback, txn, version)
 
     def _absorb_writeback(self, txn: _Txn, version: int) -> None:
         block = txn.msg.block
@@ -367,7 +367,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             # message handling), unlike a broadcast's single launch.
             stagger = self.config.timing.selective_send_overhead
             for i, pid in enumerate(sorted(targets)):
-                self.sim.schedule(
+                self.sim.post(
                     i * stagger,
                     partial(
                         self._send,
@@ -418,7 +418,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             return
         # Write miss: now fetch the (current) memory copy.
         done = self._use_memory()
-        self.sim.at(
+        self.sim.post_at(
             done, self._grant_data_and_finish, txn, GlobalState.PRESENTM, None
         )
 
@@ -500,7 +500,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             txn.phase = "query-done"
             done = self._use_memory()
             next_state = self._post_query_state(txn)
-            self.sim.at(done, self._grant_data_and_finish, txn, next_state, None)
+            self.sim.post_at(done, self._grant_data_and_finish, txn, next_state, None)
         elif txn.selective:
             # A selective PURGE found nothing (stale buffer entry after a
             # race): fall back to the unmodified scheme's broadcast.
@@ -534,7 +534,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             owners.add(responder)
         self.tbuf.establish(block, owners)
         self.counters.add("query_writebacks")
-        self.sim.at(done, self._grant_data_and_finish, txn, next_state, put.version)
+        self.sim.post_at(done, self._grant_data_and_finish, txn, next_state, put.version)
 
     def _post_query_state(self, txn: _Txn) -> GlobalState:
         if txn.msg.rw == "write" or txn.msg.kind is MessageKind.MREQUEST:

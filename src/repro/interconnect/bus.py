@@ -67,19 +67,9 @@ class Bus(Network):
         # recipients for the default path.
         end = self.acquire(message.size)
         for name in recipients:
-            copy = Message(
-                kind=message.kind,
-                src=message.src,
-                dst=name,
-                block=message.block,
-                requester=message.requester,
-                rw=message.rw,
-                version=message.version,
-                flag=message.flag,
-                meta=dict(message.meta),
-            )
+            copy = message.copy_for(name)
             self._account(copy)
-            self.sim.at(end + self.latency, self.endpoint(name).deliver, copy)
+            self.sim.post_at(end + self.latency, self._deliver_fns[name], copy)
         return []
 
     @property

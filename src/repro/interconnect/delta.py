@@ -49,6 +49,10 @@ class DeltaNetwork(Network):
         self._side_counts = {"proc": 0, "mem": 0}
         # (plane, stage, switch, outport) -> busy-until time
         self._port_busy: Dict[Tuple[str, int, int, int], int] = {}
+        # (plane, dst_port) -> hop list; routes are static once the
+        # topology is built, so the per-message digit arithmetic is paid
+        # once per destination rather than once per hop per message.
+        self._route_cache: Dict[Tuple[str, int], List[Tuple[str, int, int, int]]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -63,6 +67,7 @@ class DeltaNetwork(Network):
         port = self._side_counts[side]
         self._side_counts[side] += 1
         self._ports[component.name] = (side, port)
+        self._route_cache.clear()  # stage count may change as ports attach
         return port
 
     def attach(self, component: Component, broadcast_member: bool = False) -> None:
@@ -94,17 +99,24 @@ class DeltaNetwork(Network):
 
     def _traverse(self, plane: str, dst_port: int, size: int) -> int:
         """Walk the route reserving each hop; return arrival time."""
+        key = (plane, dst_port)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self._route_cache[key] = self._route(plane, dst_port)
         time = self.sim.now
-        for hop in self._route(plane, dst_port):
-            free_at = self._port_busy.get(hop, 0)
+        port_busy = self._port_busy
+        latency = self.latency
+        add = self.counters.add
+        for hop in route:
+            free_at = port_busy.get(hop, 0)
             start = max(time, free_at)
             wait = start - time
             if wait:
-                self.counters.add("wait_cycles", wait)
+                add("wait_cycles", wait)
             end = start + size * 1  # one cycle per size unit per hop
-            self._port_busy[hop] = end
-            time = end + self.latency
-            self.counters.add("hop_cycles", size)
+            port_busy[hop] = end
+            time = end + latency
+            add("hop_cycles", size)
         return time
 
     def _delivery_time(self, message: Message) -> int:

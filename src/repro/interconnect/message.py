@@ -16,7 +16,6 @@ occupancy accounting.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Optional
 
@@ -79,12 +78,23 @@ DATA_KINDS = frozenset(
     }
 )
 
+# Resolve data-ness per kind once, as plain attributes on the members:
+# Message construction then avoids a frozenset membership test (enum
+# hashing is measurable at message allocation rates).
+for _kind in MessageKind:
+    _kind.is_data_kind = _kind in DATA_KINDS
+    _kind.wire_size = DATA_SIZE if _kind.is_data_kind else 1
+del _kind
+
 _msg_ids = itertools.count()
 
 
-@dataclass
 class Message:
     """One command or data transfer on the interconnect.
+
+    A slotted plain class (not a dataclass): messages are the single most
+    allocated object on the simulator hot path, so construction cost and
+    per-instance footprint matter.  ``size`` is resolved once at creation.
 
     Attributes:
         kind: message type.
@@ -98,27 +108,63 @@ class Message:
         version: data payload for PUT/GET-like transfers.
         flag: boolean payload (MGRANTED yes/no, EJECT dirtiness).
         meta: free-form extras for protocol-specific needs.
+        size: network occupancy units (commands 1, data DATA_SIZE).
     """
 
-    kind: MessageKind
-    src: str
-    dst: Optional[str]
-    block: int
-    requester: Optional[int] = None
-    rw: Optional[str] = None
-    version: Optional[int] = None
-    flag: Optional[bool] = None
-    meta: Dict[str, Any] = field(default_factory=dict)
-    uid: int = field(default_factory=lambda: next(_msg_ids))
+    __slots__ = (
+        "kind",
+        "src",
+        "dst",
+        "block",
+        "requester",
+        "rw",
+        "version",
+        "flag",
+        "meta",
+        "uid",
+        "size",
+        "is_data",
+    )
 
-    @property
-    def size(self) -> int:
-        """Network occupancy units (commands 1, data DATA_SIZE)."""
-        return DATA_SIZE if self.kind in DATA_KINDS else 1
+    def __init__(
+        self,
+        kind: MessageKind,
+        src: str,
+        dst: Optional[str],
+        block: int,
+        requester: Optional[int] = None,
+        rw: Optional[str] = None,
+        version: Optional[int] = None,
+        flag: Optional[bool] = None,
+        meta: Optional[Dict[str, Any]] = None,
+        uid: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.block = block
+        self.requester = requester
+        self.rw = rw
+        self.version = version
+        self.flag = flag
+        self.meta = {} if meta is None else meta
+        self.uid = next(_msg_ids) if uid is None else uid
+        self.is_data = kind.is_data_kind
+        self.size = kind.wire_size
 
-    @property
-    def is_data(self) -> bool:
-        return self.kind in DATA_KINDS
+    def copy_for(self, dst: str) -> "Message":
+        """A per-recipient broadcast copy (fresh uid, own meta dict)."""
+        return Message(
+            kind=self.kind,
+            src=self.src,
+            dst=dst,
+            block=self.block,
+            requester=self.requester,
+            rw=self.rw,
+            version=self.version,
+            flag=self.flag,
+            meta=dict(self.meta),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         dst = self.dst if self.dst is not None else "*"

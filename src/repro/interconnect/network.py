@@ -16,7 +16,7 @@ broadcasts.  Networks track traffic counters used by the benchmarks:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.interconnect.message import Message
 from repro.sim.component import Component
@@ -33,6 +33,9 @@ class Network(Component):
         self.latency = latency
         self._endpoints: Dict[str, Component] = {}
         self._broadcast_group: List[str] = []
+        #: Bound ``deliver`` methods, cached at attach time — the send hot
+        #: path skips the endpoint lookup + attribute fetch per message.
+        self._deliver_fns: Dict[str, Callable[[Message], None]] = {}
 
     # ------------------------------------------------------------------
     # Topology
@@ -42,6 +45,7 @@ class Network(Component):
         if component.name in self._endpoints:
             raise ValueError(f"duplicate endpoint name {component.name!r}")
         self._endpoints[component.name] = component
+        self._deliver_fns[component.name] = component.deliver
         if broadcast_member:
             self._broadcast_group.append(component.name)
 
@@ -66,10 +70,15 @@ class Network(Component):
         """Transmit a point-to-point message."""
         if message.dst is None:
             raise ValueError("point-to-point send requires a destination")
-        target = self.endpoint(message.dst)
+        try:
+            deliver = self._deliver_fns[message.dst]
+        except KeyError:
+            raise KeyError(
+                f"no endpoint named {message.dst!r} on {self.name}"
+            ) from None
         self._account(message)
         delivery = self._delivery_time(message)
-        self.sim.at(delivery, target.deliver, message)
+        self.sim.post_at(delivery, deliver, message)
 
     def broadcast(
         self, message: Message, exclude: Optional[Iterable[str]] = None
@@ -85,20 +94,10 @@ class Network(Component):
         self.counters.add("broadcasts")
         self.counters.add("broadcast_deliveries", len(recipients))
         for name in self._broadcast_times(message, recipients):
-            copy = Message(
-                kind=message.kind,
-                src=message.src,
-                dst=name,
-                block=message.block,
-                requester=message.requester,
-                rw=message.rw,
-                version=message.version,
-                flag=message.flag,
-                meta=dict(message.meta),
-            )
+            copy = message.copy_for(name)
             self._account(copy)
             delivery = self._delivery_time(copy)
-            self.sim.at(delivery, self.endpoint(name).deliver, copy)
+            self.sim.post_at(delivery, self._deliver_fns[name], copy)
         return len(recipients)
 
     # ------------------------------------------------------------------
@@ -115,11 +114,9 @@ class Network(Component):
         return recipients
 
     def _account(self, message: Message) -> None:
-        if message.is_data:
-            self.counters.add("data_transfers")
-        else:
-            self.counters.add("commands")
-        self.counters.add("traffic_units", message.size)
+        add = self.counters.add
+        add("data_transfers" if message.is_data else "commands")
+        add("traffic_units", message.size)
 
 
 class PointToPointNetwork(Network):

@@ -44,6 +44,10 @@ class Processor(Component):
         self.exhausted = False  # stream ran out
         self._waiting = False  # an access is outstanding
         self._running = False
+        # Per-reference stats accumulate in plain ints (a dict-counter
+        # update per stat per reference is measurable at this call rate)
+        # and flush to the CounterSet when the processor drains.
+        self._acc = [0, 0, 0, 0, 0, 0, 0]
 
     # ------------------------------------------------------------------
     # Control
@@ -53,7 +57,7 @@ class Processor(Component):
         if self._running or self._waiting:
             return
         self._running = True
-        self.sim.schedule(0, self._issue_next)
+        self.sim.post(0, self._issue_next)
 
     def resume(self) -> None:
         """Continue after the budget was raised."""
@@ -84,23 +88,48 @@ class Processor(Component):
     def _completed(self, result: AccessResult) -> None:
         self._waiting = False
         self.completed += 1
-        self.counters.add("refs")
-        self.counters.add("latency_cycles", result.latency)
-        self.latency_histogram.add(result.latency)
-        if result.hit:
-            self.counters.add("hits")
-        if result.ref.is_write:
-            self.counters.add("writes")
-        if result.ref.shared:
-            self.counters.add("shared_refs")
-            if result.ref.is_write:
-                self.counters.add("shared_writes")
-            if result.hit:
-                self.counters.add("shared_hits")
+        latency = result.complete_time - result.issue_time
+        ref = result.ref
+        hit = result.hit
+        acc = self._acc
+        acc[0] += 1
+        acc[1] += latency
+        self.latency_histogram.add(latency)
+        if hit:
+            acc[2] += 1
+        if ref.is_write:
+            acc[3] += 1
+        if ref.shared:
+            acc[4] += 1
+            if ref.is_write:
+                acc[5] += 1
+            if hit:
+                acc[6] += 1
         if self._running:
-            self.sim.schedule(self.think_time, self._issue_next)
+            self.sim.post(self.think_time, self._issue_next)
+
+    def _flush_counters(self) -> None:
+        """Move the accumulated per-reference stats into the CounterSet."""
+        acc = self._acc
+        add = self.counters.add
+        for name, value in zip(
+            (
+                "refs",
+                "latency_cycles",
+                "hits",
+                "writes",
+                "shared_refs",
+                "shared_writes",
+                "shared_hits",
+            ),
+            acc,
+        ):
+            if value:
+                add(name, value)
+        self._acc = [0, 0, 0, 0, 0, 0, 0]
 
     def _stop(self) -> None:
         self._running = False
+        self._flush_counters()
         if self.on_drained is not None:
             self.on_drained(self)

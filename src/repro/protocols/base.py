@@ -9,7 +9,6 @@ back through :class:`AccessResult` callbacks.
 from __future__ import annotations
 
 from abc import abstractmethod
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sim.component import Component
@@ -18,20 +17,46 @@ from repro.config import MachineConfig
 from repro.workloads.reference import MemRef
 
 
-@dataclass
 class AccessResult:
-    """Outcome of one processor memory reference."""
+    """Outcome of one processor memory reference.
 
-    ref: MemRef
-    hit: bool
-    issue_time: int
-    complete_time: int
-    #: Version returned (reads) or committed (writes).
-    version: int
+    A slotted plain class: one is allocated per simulated reference, so
+    construction cost matters.
+
+    Attributes:
+        ref: the reference that completed.
+        hit: whether it hit in the cache.
+        issue_time: cycle the processor issued it.
+        complete_time: cycle it completed.
+        version: version returned (reads) or committed (writes).
+    """
+
+    __slots__ = ("ref", "hit", "issue_time", "complete_time", "version")
+
+    def __init__(
+        self,
+        ref: MemRef,
+        hit: bool,
+        issue_time: int,
+        complete_time: int,
+        version: int,
+    ) -> None:
+        self.ref = ref
+        self.hit = hit
+        self.issue_time = issue_time
+        self.complete_time = complete_time
+        self.version = version
 
     @property
     def latency(self) -> int:
         return self.complete_time - self.issue_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        outcome = "hit" if self.hit else "miss"
+        return (
+            f"AccessResult({self.ref}, {outcome}, "
+            f"t={self.issue_time}->{self.complete_time}, v{self.version})"
+        )
 
 
 AccessCallback = Callable[[AccessResult], None]
@@ -52,6 +77,7 @@ class AbstractCacheController(Component):
         self.pid = pid
         self.config = config
         self._array_free_at = 0
+        self._cache_cycle = config.timing.cache_cycle
 
     # ------------------------------------------------------------------
     # Processor interface
@@ -70,10 +96,13 @@ class AbstractCacheController(Component):
         processor; the wait a processor reference suffers behind stolen
         cycles is recorded as ``processor_wait_cycles``.
         """
-        cycle = self.config.timing.cache_cycle
-        start = max(self.sim.now, self._array_free_at)
+        cycle = self._cache_cycle
+        now = self.sim.now
+        start = self._array_free_at
+        if start < now:
+            start = now
         if not stolen:
-            wait = start - self.sim.now
+            wait = start - now
             if wait:
                 self.counters.add("processor_wait_cycles", wait)
         else:

@@ -107,7 +107,7 @@ class DirectoryCacheController(AbstractCacheController):
         self.counters.add("refs")
         self.counters.add("writes" if ref.is_write else "reads")
         done = self._use_array(stolen=False)
-        self.sim.at(done, self._classify, ref, callback, issue_time)
+        self.sim.post_at(done, self._classify, ref, callback, issue_time)
 
     def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
         line = self.array.lookup(ref.block)
@@ -293,7 +293,7 @@ class DirectoryCacheController(AbstractCacheController):
             )
         pending.data_received = True
         done = self._use_array(stolen=False)
-        self.sim.at(done, self._fill_and_complete, message, pending)
+        self.sim.post_at(done, self._fill_and_complete, message, pending)
 
     def _fill_and_complete(self, message: Message, pending: PendingOp) -> None:
         self.pending = None

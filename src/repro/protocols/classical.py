@@ -84,7 +84,7 @@ class ClassicalCacheController(AbstractCacheController):
         self.counters.add("writes" if ref.is_write else "reads")
         issue_time = self.sim.now
         done = self._use_array(stolen=False)
-        self.sim.at(done, self._classify, ref, callback, issue_time)
+        self.sim.post_at(done, self._classify, ref, callback, issue_time)
 
     def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
         line = self.array.lookup(ref.block)
@@ -124,7 +124,7 @@ class ClassicalCacheController(AbstractCacheController):
             # Keep the access pending until the fill lands so a crossing
             # invalidation can still poison it (stale_fill).
             done = self._use_array(stolen=False)
-            self.sim.at(done, self._fill, message, pending)
+            self.sim.post_at(done, self._fill, message, pending)
         elif message.kind is MessageKind.WT_ACK:
             if (
                 pending is None
@@ -283,10 +283,10 @@ class ClassicalMemoryController(AbstractMemoryController):
     def deliver(self, message: Message) -> None:
         if message.kind is MessageKind.WT_FETCH:
             done = self._use_memory()
-            self.sim.at(done, self._serve_fetch, message)
+            self.sim.post_at(done, self._serve_fetch, message)
         elif message.kind is MessageKind.WT_WRITE:
             done = self._use_memory()
-            self.sim.at(done, self._commit_store, message)
+            self.sim.post_at(done, self._commit_store, message)
         else:
             raise ValueError(f"{self.name} cannot handle {message!r}")
 

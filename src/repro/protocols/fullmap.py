@@ -143,7 +143,7 @@ class FullMapDirectoryController(AbstractMemoryController):
         self._txns[message.block] = txn
         self.counters.add("transactions")
         done = self.sim.now + self.config.timing.directory_access
-        self.sim.at(done, self._dispatch, txn)
+        self.sim.post_at(done, self._dispatch, txn)
 
     def _dispatch(self, txn: _Txn) -> None:
         msg = txn.msg
@@ -174,7 +174,7 @@ class FullMapDirectoryController(AbstractMemoryController):
             return
         exclusive = self.grant_exclusive_clean and not entry.owners
         done = self._use_memory()
-        self.sim.at(done, self._serve_read_from_memory, txn, exclusive)
+        self.sim.post_at(done, self._serve_read_from_memory, txn, exclusive)
 
     def _serve_read_from_memory(self, txn: _Txn, exclusive: bool) -> None:
         block = txn.msg.block
@@ -201,7 +201,7 @@ class FullMapDirectoryController(AbstractMemoryController):
             self._invalidate_holders(txn, entry.owners)
             return
         done = self._use_memory()
-        self.sim.at(done, self._serve_write_from_memory, txn)
+        self.sim.post_at(done, self._serve_write_from_memory, txn)
 
     def _serve_write_from_memory(self, txn: _Txn) -> None:
         block = txn.msg.block
@@ -286,7 +286,7 @@ class FullMapDirectoryController(AbstractMemoryController):
         entry = self.directory.entry(block)
         if entry.possibly_dirty and entry.owners == {requester}:
             done = self._use_memory()
-            self.sim.at(done, self._absorb_writeback, txn, version)
+            self.sim.post_at(done, self._absorb_writeback, txn, version)
         else:
             # Superseded by a purge that already collected the data.
             self.counters.add("eject_dropped_stale")
@@ -331,7 +331,7 @@ class FullMapDirectoryController(AbstractMemoryController):
         # paper's simplifying assumption).
         stagger = self.config.timing.selective_send_overhead
         for i, pid in enumerate(targets):
-            self.sim.schedule(
+            self.sim.post(
                 i * stagger,
                 partial(
                     self._send,
@@ -362,7 +362,7 @@ class FullMapDirectoryController(AbstractMemoryController):
             self._grant_modify(txn, granted=True)
             return
         done = self._use_memory()
-        self.sim.at(done, self._serve_write_from_memory, txn)
+        self.sim.post_at(done, self._serve_write_from_memory, txn)
 
     def _purge_owner(self, txn: _Txn, rw: str) -> None:
         block = txn.msg.block
@@ -406,7 +406,7 @@ class FullMapDirectoryController(AbstractMemoryController):
         assert message.version is not None
         txn.phase = "query-done"  # a second answer must fail loudly
         done = self._use_memory()
-        self.sim.at(done, self._complete_query, txn, message, message.version)
+        self.sim.post_at(done, self._complete_query, txn, message, message.version)
 
     def _on_query_nocopy(self, message: Message) -> None:
         # The exclusive-clean owner answered a PURGE without data:
@@ -418,7 +418,7 @@ class FullMapDirectoryController(AbstractMemoryController):
         self.counters.add("purge_found_clean")
         txn.phase = "query-done"
         done = self._use_memory()
-        self.sim.at(done, self._complete_query, txn, message, None)
+        self.sim.post_at(done, self._complete_query, txn, message, None)
 
     def _complete_query(
         self, txn: _Txn, answer: Message, version: Optional[int]

@@ -122,10 +122,10 @@ class SnoopBusManager(Component):
         if what == "wb":
             block, version, owner = payload
             end = self.bus.acquire(DATA_SIZE)
-            self.sim.at(end, self._land_writeback, block, version, owner)
+            self.sim.post_at(end, self._land_writeback, block, version, owner)
         else:
             end = self.bus.acquire(_slots(payload.kind))
-            self.sim.at(end, self._resolve, payload)
+            self.sim.post_at(end, self._resolve, payload)
 
     def _release(self) -> None:
         self._granted = False
@@ -150,7 +150,7 @@ class SnoopBusManager(Component):
             txn.converted = True
             self.counters.add("conversions")
             end = self.bus.acquire(_slots(new_kind))
-            self.sim.at(end, self._resolve, txn)
+            self.sim.post_at(end, self._resolve, txn)
             return
         supplied: Optional[int] = None
         any_copy = False
@@ -182,7 +182,7 @@ class SnoopBusManager(Component):
             version = self.module_of(txn.block).read(txn.block)
             done = self.sim.now + self.config.timing.mem_access
             self.bus.hold_until(done)
-            self.sim.at(done, self._deliver, txn, version, any_copy)
+            self.sim.post_at(done, self._deliver, txn, version, any_copy)
 
     def _deliver(
         self, txn: _BusTxn, version: Optional[int], any_copy: bool
@@ -190,7 +190,7 @@ class SnoopBusManager(Component):
         finish = txn.requester.bus_complete(txn.kind, txn.block, version, any_copy)
         self.bus.hold_until(finish)
         if finish > self.sim.now:
-            self.sim.at(finish, self._release)
+            self.sim.post_at(finish, self._release)
         else:
             self._release()
 
@@ -240,7 +240,7 @@ class SnoopCacheController(AbstractCacheController):
         self.counters.add("writes" if ref.is_write else "reads")
         issue_time = self.sim.now
         done = self._use_array(stolen=False)
-        self.sim.at(done, self._classify, ref, callback, issue_time)
+        self.sim.post_at(done, self._classify, ref, callback, issue_time)
 
     def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
         line = self.array.lookup(ref.block)
@@ -316,7 +316,7 @@ class SnoopCacheController(AbstractCacheController):
             raise RuntimeError(f"{self.name}: unexpected bus completion")
         self.pending = None
         done = self._use_array(stolen=False)
-        self.sim.at(done, self._finalize, kind, pending, version, others_had_copy)
+        self.sim.post_at(done, self._finalize, kind, pending, version, others_had_copy)
         return done
 
     def _finalize(

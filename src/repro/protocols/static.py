@@ -76,7 +76,7 @@ class StaticCacheController(AbstractCacheController):
         self.counters.add("writes" if ref.is_write else "reads")
         issue_time = self.sim.now
         done = self._use_array(stolen=False)
-        self.sim.at(done, self._classify, ref, callback, issue_time)
+        self.sim.post_at(done, self._classify, ref, callback, issue_time)
 
     def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
         if ref.shared:
@@ -139,7 +139,7 @@ class StaticCacheController(AbstractCacheController):
         self.pending = None
         if pending.phase == "fill":
             done = self._use_array(stolen=False)
-            self.sim.at(done, self._fill, message, pending)
+            self.sim.post_at(done, self._fill, message, pending)
             return
         # Uncached access completed at memory.
         if pending.ref.is_write:
@@ -238,13 +238,13 @@ class StaticMemoryController(AbstractMemoryController):
     def deliver(self, message: Message) -> None:
         if message.kind is MessageKind.MEM_READ:
             done = self._use_memory()
-            self.sim.at(done, self._serve_read, message)
+            self.sim.post_at(done, self._serve_read, message)
         elif message.kind is MessageKind.MEM_WRITE:
             done = self._use_memory()
-            self.sim.at(done, self._serve_write, message)
+            self.sim.post_at(done, self._serve_write, message)
         elif message.kind is MessageKind.PUT:
             done = self._use_memory()
-            self.sim.at(done, self._absorb_writeback, message)
+            self.sim.post_at(done, self._absorb_writeback, message)
         else:
             raise ValueError(f"{self.name} cannot handle {message!r}")
 

@@ -1,0 +1,36 @@
+"""Sweep runner: parallel simulation fan-out with result caching.
+
+The benchmark suite's tables are sweeps over (protocol, n, sharing)
+grids of independent simulations.  :func:`run_sweep` executes such a
+grid across worker processes with per-point deterministic seeds, and
+memoizes each point's result on disk keyed by (function, kwargs, code
+version) — see :mod:`repro.runner.cache` for the invalidation rules.
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    code_version,
+    default_cache_dir,
+)
+from repro.runner.seeds import derive_seed
+from repro.runner.sweep import (
+    PointOutcome,
+    SweepError,
+    SweepPoint,
+    SweepReport,
+    run_sweep,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "PointOutcome",
+    "ResultCache",
+    "SweepError",
+    "SweepPoint",
+    "SweepReport",
+    "code_version",
+    "default_cache_dir",
+    "derive_seed",
+    "run_sweep",
+]

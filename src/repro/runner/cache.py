@@ -1,0 +1,147 @@
+"""On-disk result cache for sweep points.
+
+A cache entry is keyed by a stable digest of *what would run*: the
+point's function (module-qualified name), its keyword arguments (via
+``repr``, which is stable for the config dataclasses and builtins used
+by the benches), and a **code version** — a digest over every Python
+source file in ``repro`` itself.  Any edit to the simulator therefore
+invalidates every cached result automatically; there is no way to read
+a stale number produced by old code.
+
+Entries are pickle files named ``<digest>.pkl`` in the cache directory
+(default ``.sweep_cache/``, overridable with ``$REPRO_SWEEP_CACHE``).
+Wiping the cache is always safe: delete the directory, or call
+:meth:`ResultCache.clear`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
+
+_code_version: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` if set, else ``.sweep_cache`` under cwd."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else Path.cwd() / ".sweep_cache"
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Cached results are only valid for the exact code that produced them;
+    this version string ties entries to the source tree state.
+    """
+    global _code_version
+    if _code_version is None:
+        root = Path(__file__).resolve().parents[1]  # src/repro
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _code_version = h.hexdigest()[:16]
+    return _code_version
+
+
+class ResultCache:
+    """Pickle-file store mapping point digests to results.
+
+    Args:
+        directory: where entries live; created lazily on first write.
+        version: code-version component of every key; defaults to
+            :func:`code_version`.  Tests pass explicit versions to
+            exercise invalidation without editing source files.
+    """
+
+    def __init__(
+        self, directory: Path | str, version: Optional[str] = None
+    ) -> None:
+        self.directory = Path(directory)
+        self.version = code_version() if version is None else version
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_for(self, fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> str:
+        """Stable digest of (function identity, kwargs, code version)."""
+        spec = "\0".join(
+            (
+                f"{fn.__module__}.{fn.__qualname__}",
+                repr(sorted(kwargs.items())),
+                self.version,
+            )
+        )
+        return hashlib.sha256(spec.encode()).hexdigest()[:32]
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, result)``; unreadable/corrupt entries count as misses.
+
+        Corrupt bytes can raise nearly anything out of ``pickle.load``
+        (truncated streams, garbage that happens to form opcodes, stale
+        classes), so any failure to load and extract counts as a miss —
+        a damaged cache must cost re-simulation, never a crash.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            return True, entry["result"]
+        except Exception:
+            return False, None
+
+    def put(self, key: str, result: Any, meta: Optional[Dict[str, Any]] = None) -> None:
+        """Store ``result`` atomically (write-to-temp, rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "result": result,
+            "version": self.version,
+            "created": time.time(),
+            **(meta or {}),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        if not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -1,0 +1,229 @@
+"""Parallel sweep execution with result caching.
+
+A *sweep* is a list of independent simulation points — (function,
+kwargs) pairs, typically one per cell of a results table.  Points run
+across a :class:`~concurrent.futures.ProcessPoolExecutor`; results land
+in an on-disk :class:`~repro.runner.cache.ResultCache`, so re-running a
+bench after an unrelated change is effectively free, and editing any
+``repro`` source invalidates everything (see ``cache.code_version``).
+
+Determinism: each point carries its own explicit seed (pin one in the
+kwargs, or derive one with :func:`~repro.runner.seeds.derive_seed`), so
+results are identical regardless of worker count, execution order, or
+whether a value came from the cache.
+
+Point functions must be module-level (picklable by reference) and their
+kwargs must have stable ``repr`` (builtins and the config dataclasses
+qualify); both are checked/exercised by the unit tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache, default_cache_dir
+
+
+class SweepError(RuntimeError):
+    """A sweep point raised; carries which point failed."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a sweep: call ``fn(**kwargs)``.
+
+    ``key`` labels the point in reports and in
+    :attr:`SweepReport.by_key`; it defaults to the kwargs tuple.
+    """
+
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    key: Optional[Hashable] = None
+
+    @property
+    def label(self) -> Hashable:
+        if self.key is not None:
+            return self.key
+        return tuple(sorted(self.kwargs.items()))
+
+
+@dataclass
+class PointOutcome:
+    """Result of one point, with provenance."""
+
+    point: SweepPoint
+    result: Any
+    cached: bool
+    #: Wall-clock seconds until the result was available (0 on a hit).
+    elapsed: float
+
+
+@dataclass
+class SweepReport:
+    """Everything :func:`run_sweep` learned, in point order."""
+
+    label: str
+    outcomes: List[PointOutcome]
+    workers: int
+    elapsed: float
+    cache_dir: Optional[str]
+
+    @property
+    def results(self) -> List[Any]:
+        return [o.result for o in self.outcomes]
+
+    @property
+    def by_key(self) -> Dict[Hashable, Any]:
+        return {o.point.label: o.result for o in self.outcomes}
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def executed(self) -> int:
+        return len(self.outcomes) - self.cache_hits
+
+    def summary(self) -> str:
+        cache = self.cache_dir if self.cache_dir else "off"
+        return (
+            f"[sweep {self.label}] {len(self.outcomes)} points: "
+            f"{self.cache_hits} cached, {self.executed} executed "
+            f"({self.workers} workers, {self.elapsed:.2f}s, cache={cache})"
+        )
+
+
+def _execute(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Any:
+    # Module-level so the pool can pickle it by reference.
+    return fn(**kwargs)
+
+
+def _pool(workers: int) -> ProcessPoolExecutor:
+    # fork keeps already-imported bench modules importable in workers
+    # (their functions pickle by reference); fall back where unavailable.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        ctx = multiprocessing.get_context()
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    workers: Optional[int] = None,
+    cache_dir: Optional[Any] = None,
+    use_cache: bool = True,
+    label: str = "sweep",
+    verbose: bool = False,
+) -> SweepReport:
+    """Run every point, in parallel, consulting/filling the result cache.
+
+    Args:
+        points: the sweep cells; order is preserved in the report.
+        workers: process count; ``None`` / ``1`` runs inline (no pool),
+            which is also the fallback if a pool cannot be created.
+        cache_dir: result cache directory; ``None`` uses
+            :func:`~repro.runner.cache.default_cache_dir`.
+        use_cache: set False to force re-execution (cache is not read
+            *or* written).
+        label: sweep name for the summary line.
+        verbose: print a progress line per point.
+
+    Raises:
+        SweepError: if any point raises; the original exception chains.
+    """
+    started = time.perf_counter()
+    cache = (
+        ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+        if use_cache
+        else None
+    )
+
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[int] = []
+    for i, point in enumerate(points):
+        if cache is not None:
+            hit, value = cache.get(cache.key_for(point.fn, point.kwargs))
+            if hit:
+                outcomes[i] = PointOutcome(point, value, cached=True, elapsed=0.0)
+                if verbose:
+                    print(f"[sweep {label}] {point.label}: cached")
+                continue
+        pending.append(i)
+
+    n_workers = 1 if workers is None else max(1, int(workers))
+    if pending:
+        if n_workers == 1 or len(pending) == 1:
+            for i in pending:
+                outcomes[i] = _run_one(points[i], cache, label, verbose)
+        else:
+            with _pool(min(n_workers, len(pending))) as pool:
+                futures = {
+                    i: pool.submit(_execute, points[i].fn, points[i].kwargs)
+                    for i in pending
+                }
+                for i, future in futures.items():
+                    point = points[i]
+                    t0 = time.perf_counter()
+                    try:
+                        value = future.result()
+                    except Exception as exc:
+                        raise SweepError(
+                            f"sweep {label!r} point {point.label!r} failed: {exc}"
+                        ) from exc
+                    outcomes[i] = _record(
+                        point, value, time.perf_counter() - t0, cache, label,
+                        verbose,
+                    )
+
+    done: List[PointOutcome] = [o for o in outcomes if o is not None]
+    assert len(done) == len(points)
+    report = SweepReport(
+        label=label,
+        outcomes=done,
+        workers=n_workers,
+        elapsed=time.perf_counter() - started,
+        cache_dir=str(cache.directory) if cache is not None else None,
+    )
+    if verbose:
+        print(report.summary())
+    return report
+
+
+def _run_one(
+    point: SweepPoint,
+    cache: Optional[ResultCache],
+    label: str,
+    verbose: bool,
+) -> PointOutcome:
+    t0 = time.perf_counter()
+    try:
+        value = _execute(point.fn, point.kwargs)
+    except Exception as exc:
+        raise SweepError(
+            f"sweep {label!r} point {point.label!r} failed: {exc}"
+        ) from exc
+    return _record(point, value, time.perf_counter() - t0, cache, label, verbose)
+
+
+def _record(
+    point: SweepPoint,
+    value: Any,
+    elapsed: float,
+    cache: Optional[ResultCache],
+    label: str,
+    verbose: bool,
+) -> PointOutcome:
+    if cache is not None:
+        cache.put(
+            cache.key_for(point.fn, point.kwargs),
+            value,
+            meta={"label": label, "point": repr(point.label)},
+        )
+    if verbose:
+        print(f"[sweep {label}] {point.label}: executed in {elapsed:.2f}s")
+    return PointOutcome(point, value, cached=False, elapsed=elapsed)

@@ -7,24 +7,38 @@ the same seed produce identical event orderings.
 
 All times are integer cycles.  Components schedule work with
 :meth:`Simulator.schedule` (relative delay) or :meth:`Simulator.at`
-(absolute time).
+(absolute time).  Hot paths that never cancel can use :meth:`Simulator.post`
+/ :meth:`Simulator.post_at`, which skip the :class:`Event` handle
+allocation entirely.
+
+Hot-path layout
+---------------
+The heap holds plain ``(time, tie, seq, event_or_None, fn, args)`` tuples:
+``seq`` is unique, so tuple comparison is resolved in C by the first three
+fields and never touches the payload.  ``event_or_None`` is a slotted
+:class:`Event` handle when the caller wants cancellation, or ``None`` for
+the handle-free fast path.  Cancelled entries stay in the heap (removing
+from a heap is O(n)) and are skipped on pop; the live-event count is
+maintained incrementally, and when more than half the heap is dead weight
+the kernel compacts it in one O(n) pass.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Compact the heap only past this size; below it the dead weight is noise.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, runaway runs)."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
     Events order by ``(time, tie, seq)``; the callback and its arguments
     do not participate in the ordering.  ``tie`` is 0 in deterministic
@@ -32,16 +46,47 @@ class Event:
     events (see :class:`Simulator`).
     """
 
-    time: int
-    tie: float
-    seq: int
-    fn: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "tie", "seq", "fn", "args", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: int,
+        tie: float,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.tie = tie
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when popped."""
+        """Mark the event so the kernel skips it when popped.
+
+        Cancelling an event that already ran is a no-op for the
+        bookkeeping: the kernel detaches executed handles (``_sim`` is
+        cleared), so the live count only reflects cancellations of
+        events still in the queue.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state}>"
+
+
+#: A heap entry: (time, tie, seq, event_or_None, fn, args).
+_Entry = Tuple[int, float, int, Optional[Event], Callable[..., None], tuple]
 
 
 class Simulator:
@@ -67,21 +112,19 @@ class Simulator:
     """
 
     def __init__(self, tie_seed: Optional[int] = None) -> None:
-        self._now: int = 0
+        #: Current simulation time in cycles (read-only for components).
+        self.now: int = 0
         self._seq: int = 0
-        self._queue: List[Event] = []
+        self._queue: List[_Entry] = []
+        self._live: int = 0
+        self._cancelled: int = 0
         self._events_processed: int = 0
         self._running: bool = False
         self._tie_rng = random.Random(tie_seed) if tie_seed is not None else None
 
     # ------------------------------------------------------------------
-    # Time
+    # Introspection
     # ------------------------------------------------------------------
-    @property
-    def now(self) -> int:
-        """Current simulation time in cycles."""
-        return self._now
-
     @property
     def events_processed(self) -> int:
         """Number of events executed so far."""
@@ -89,8 +132,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live events still queued (cancelled ones excluded)."""
+        return self._live
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -99,31 +142,85 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.at(self._now + delay, fn, *args)
+        return self.at(self.now + delay, fn, *args)
 
     def at(self, time: int, fn: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute ``time``."""
-        if time < self._now:
+        """Schedule ``fn(*args)`` at absolute ``time``; returns a handle."""
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule at {time}; current time is {self._now}"
+                f"cannot schedule at {time}; current time is {self.now}"
             )
         tie = self._tie_rng.random() if self._tie_rng is not None else 0.0
-        event = Event(time=time, tie=tie, seq=self._seq, fn=fn, args=args)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, tie, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, tie, seq, event, fn, args))
+        self._live += 1
         return event
+
+    def post(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """:meth:`schedule` without a cancellation handle (hot path)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.post_at(self.now + delay, fn, *args)
+
+    def post_at(self, time: int, fn: Callable[..., None], *args: Any) -> None:
+        """:meth:`at` without a cancellation handle (hot path).
+
+        Skips the :class:`Event` allocation; the entry cannot be cancelled
+        or introspected.  Ordering is identical to :meth:`at` — the same
+        sequence number would have been assigned either way.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}; current time is {self.now}"
+            )
+        tie = self._tie_rng.random() if self._tie_rng is not None else 0.0
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, tie, seq, None, fn, args))
+        self._live += 1
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel`; keeps the live count O(1)."""
+        self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled > _COMPACT_MIN
+            and self._cancelled > len(self._queue) // 2
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortized O(1) per event)."""
+        self._queue = [
+            entry
+            for entry in self._queue
+            if entry[3] is None or not entry[3].cancelled
+        ]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.fn(*event.args)
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            event = entry[3]
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event._sim = None  # detach: late cancel() is a no-op
+            self._live -= 1
+            self.now = entry[0]
+            entry[4](*entry[5])
             self._events_processed += 1
             return True
         return False
@@ -138,36 +235,68 @@ class Simulator:
         Args:
             until: stop once simulation time would exceed this cycle; the
                 clock is advanced to ``until`` on a timed stop.
-            max_events: safety valve; raise :class:`SimulationError` if more
-                events than this are executed (catches protocol livelock).
+            max_events: inclusive safety valve; raise
+                :class:`SimulationError` as soon as an event beyond this
+                count is about to run (catches protocol livelock).  At
+                most ``max_events`` events execute.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            while queue:
+                head = queue[0]
+                event = head[3]
+                if event is not None and event.cancelled:
+                    heappop(queue)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
-                    self._now = until
+                time = head[0]
+                if until is not None and time > until:
+                    self.now = until
                     return
-                heapq.heappop(self._queue)
-                self._now = event.time
-                event.fn(*event.args)
-                self._events_processed += 1
-                executed += 1
-                if max_events is not None and executed > max_events:
+                if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely livelock"
                     )
-            if until is not None and until > self._now:
-                self._now = until
+                heappop(queue)
+                self._live -= 1
+                self.now = time
+                if event is not None:
+                    event._sim = None  # detach: late cancel() is a no-op
+                head[4](*head[5])
+                self._events_processed += 1
+                executed += 1
+                # Batch same-cycle pops: while the head is live and due at
+                # the cycle we already advanced to, skip the until check.
+                while queue:
+                    head = queue[0]
+                    if head[0] != time:
+                        break
+                    event = head[3]
+                    if event is not None and event.cancelled:
+                        heappop(queue)
+                        self._cancelled -= 1
+                        continue
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely livelock"
+                        )
+                    heappop(queue)
+                    self._live -= 1
+                    if event is not None:
+                        event._sim = None  # detach: late cancel() is a no-op
+                    head[4](*head[5])
+                    self._events_processed += 1
+                    executed += 1
+            if until is not None and until > self.now:
+                self.now = until
         finally:
             self._running = False
 
     def drain_check(self) -> bool:
         """True when no live events remain (system quiescent)."""
-        return self.pending == 0
+        return self._live == 0

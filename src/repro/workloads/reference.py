@@ -38,9 +38,11 @@ class MemRef:
     #: the static scheme, which never caches shared-writeable data.
     shared: bool = False
 
-    @property
-    def is_write(self) -> bool:
-        return self.op is Op.WRITE
+    def __post_init__(self) -> None:
+        # ``is_write`` is consulted several times per reference on the
+        # simulator hot path; resolve it once instead of per access.  Not
+        # a dataclass field, so equality/repr are unaffected.
+        object.__setattr__(self, "is_write", self.op is Op.WRITE)
 
     def __str__(self) -> str:
         tag = "s" if self.shared else "p"

@@ -1,0 +1,57 @@
+"""Golden-value determinism regression for full machine runs.
+
+The kernel fast path (tuple heap entries, handle-free posts, batched
+same-cycle pops, lazy compaction) must not perturb event orderings: for
+a fixed seed the machine must execute the exact same schedule.  These
+goldens were captured from the pre-optimization kernel; any drift in
+event count, final cycle, or the measured overheads means the ordering
+contract broke.
+
+If an *intentional* semantic change shifts these values, recapture them
+with the snippet in the module docstring of ``repro.sim.kernel`` in
+mind: event count and final cycle must move together and the change must
+be explained in the commit.
+"""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+#: seed -> (events_processed, final_cycle, extra_commands_per_ref,
+#:          commands_per_ref, traffic_per_ref)
+GOLDEN = {
+    1: (5430, 2937, 0.19416666666666665, 0.34500000000000003,
+        1.6766666666666667),
+    7: (5427, 2918, 0.22333333333333336, 0.38, 1.7808333333333333),
+    1984: (5138, 2728, 0.1575, 0.28500000000000003, 1.45),
+}
+
+
+def _run(seed):
+    workload = DuboisBriggsWorkload(
+        n_processors=4, q=0.20, w=0.4, private_blocks_per_proc=32, seed=seed
+    )
+    config = MachineConfig(n_processors=4, n_modules=2, protocol="twobit")
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=300, warmup_refs=50)
+    results = machine.results()
+    return (
+        machine.sim.events_processed,
+        machine.sim.now,
+        results.extra_commands_per_ref,
+        results.commands_per_ref,
+        results.traffic_per_ref,
+    )
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN))
+def test_machine_run_matches_golden(seed):
+    assert _run(seed) == GOLDEN[seed]
+
+
+def test_repeated_runs_are_bit_identical():
+    # Same process, fresh machines: no hidden global state leaks between
+    # runs (the workload stream memo must replay, not re-draw).
+    assert _run(1984) == _run(1984)

@@ -1,0 +1,140 @@
+"""Sweep runner: execution, caching, invalidation, parallel workers."""
+
+import pytest
+
+from repro.runner import (
+    ResultCache,
+    SweepError,
+    SweepPoint,
+    code_version,
+    run_sweep,
+)
+
+
+# Module-level so the process pool can pickle them by reference.
+def square(x, seed=0):
+    return x * x + seed
+
+
+def boom(x):
+    raise ValueError(f"bad point {x}")
+
+
+def _points(xs):
+    return [SweepPoint(square, {"x": x, "seed": 0}, key=x) for x in xs]
+
+
+def test_results_in_point_order(tmp_path):
+    report = run_sweep(_points([3, 1, 2]), cache_dir=tmp_path, label="t")
+    assert report.results == [9, 1, 4]
+    assert report.by_key == {3: 9, 1: 1, 2: 4}
+    assert report.cache_hits == 0
+    assert report.executed == 3
+
+
+def test_second_invocation_hits_cache(tmp_path):
+    first = run_sweep(_points([1, 2, 3]), cache_dir=tmp_path, label="t")
+    second = run_sweep(_points([1, 2, 3]), cache_dir=tmp_path, label="t")
+    assert first.results == second.results
+    assert second.cache_hits == 3
+    assert second.executed == 0
+    assert "3 cached, 0 executed" in second.summary()
+
+
+def test_partial_cache_reuse(tmp_path):
+    run_sweep(_points([1, 2]), cache_dir=tmp_path, label="t")
+    report = run_sweep(_points([1, 2, 5]), cache_dir=tmp_path, label="t")
+    assert report.results == [1, 4, 25]
+    assert report.cache_hits == 2
+    assert report.executed == 1
+
+
+def test_kwarg_change_misses_cache(tmp_path):
+    run_sweep([SweepPoint(square, {"x": 2, "seed": 0})], cache_dir=tmp_path)
+    report = run_sweep(
+        [SweepPoint(square, {"x": 2, "seed": 10})], cache_dir=tmp_path
+    )
+    assert report.cache_hits == 0
+    assert report.results == [14]
+
+
+def test_code_version_change_invalidates(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    key = cache.key_for(square, {"x": 2})
+    cache.put(key, 4)
+    assert cache.get(key) == (True, 4)
+    stale = ResultCache(tmp_path, version="v2")
+    hit, _ = stale.get(stale.key_for(square, {"x": 2}))
+    assert not hit
+    # The real version digest is tied to the repro source tree.
+    assert ResultCache(tmp_path).version == code_version()
+
+
+def test_cache_clear_and_wipe(tmp_path):
+    cache = ResultCache(tmp_path, version="v1")
+    cache.put(cache.key_for(square, {"x": 1}), 1)
+    cache.put(cache.key_for(square, {"x": 2}), 4)
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.get(cache.key_for(square, {"x": 1})) == (False, None)
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        b"not a pickle",  # UnpicklingError
+        b"garbage\n",  # 'g' is a GET opcode -> ValueError
+        b"",  # EOFError
+        pytest.param(__import__("pickle").dumps([1, 2]), id="not-a-dict"),
+    ],
+)
+def test_corrupt_entry_is_a_miss(tmp_path, garbage):
+    cache = ResultCache(tmp_path)  # real code version: run_sweep sees it
+    key = cache.key_for(square, {"x": 1})
+    cache.put(key, 1)
+    (tmp_path / f"{key}.pkl").write_bytes(garbage)
+    assert cache.get(key) == (False, None)
+    # A sweep over the damaged entry recovers by re-executing.
+    report = run_sweep(
+        [SweepPoint(square, {"x": 1}, key=1)], cache_dir=tmp_path
+    )
+    assert report.results == [1]
+    assert report.cache_hits == 0
+
+
+def test_use_cache_false_skips_read_and_write(tmp_path):
+    run_sweep(_points([7]), cache_dir=tmp_path, label="t")
+    report = run_sweep(
+        _points([7]), cache_dir=tmp_path, use_cache=False, label="t"
+    )
+    assert report.cache_hits == 0
+    assert report.cache_dir is None
+
+
+def test_parallel_workers_match_serial(tmp_path):
+    xs = list(range(8))
+    serial = run_sweep(_points(xs), workers=1, use_cache=False)
+    parallel = run_sweep(_points(xs), workers=2, use_cache=False)
+    assert serial.results == parallel.results == [x * x for x in xs]
+    assert parallel.workers == 2
+
+
+def test_parallel_results_land_in_cache(tmp_path):
+    run_sweep(_points([4, 5, 6]), workers=2, cache_dir=tmp_path, label="t")
+    again = run_sweep(_points([4, 5, 6]), workers=2, cache_dir=tmp_path,
+                      label="t")
+    assert again.cache_hits == 3
+
+
+def test_failing_point_raises_sweep_error(tmp_path):
+    points = [SweepPoint(boom, {"x": 1}, key="kaboom")]
+    with pytest.raises(SweepError, match="kaboom"):
+        run_sweep(points, cache_dir=tmp_path)
+    with pytest.raises(SweepError, match="kaboom"):
+        run_sweep(points, workers=2, cache_dir=tmp_path)
+
+
+def test_default_point_label_is_kwargs():
+    point = SweepPoint(square, {"x": 2, "seed": 3})
+    assert point.label == (("seed", 3), ("x", 2))

@@ -103,6 +103,73 @@ def test_max_events_guard_catches_livelock():
         sim.run(max_events=50)
 
 
+def test_max_events_bound_is_inclusive():
+    # Exactly max_events events is allowed; one more trips the guard.
+    sim = Simulator()
+    hits = []
+    for i in range(5):
+        sim.schedule(i, hits.append, i)
+    sim.run(max_events=5)
+    assert hits == [0, 1, 2, 3, 4]
+
+    sim = Simulator()
+    hits = []
+    for i in range(6):
+        sim.schedule(i, hits.append, i)
+    with pytest.raises(SimulationError, match="max_events=5"):
+        sim.run(max_events=5)
+    assert hits == [0, 1, 2, 3, 4]  # the 6th never ran
+
+
+def test_max_events_inclusive_within_one_cycle():
+    # The same-cycle batched pop path honours the inclusive bound too.
+    sim = Simulator()
+    hits = []
+    for i in range(6):
+        sim.schedule(1, hits.append, i)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=5)
+    assert hits == [0, 1, 2, 3, 4]
+
+
+def test_post_orders_like_schedule():
+    # Handle-free entries interleave with handled ones in submission order.
+    sim = Simulator()
+    order = []
+    sim.schedule(2, order.append, "a")
+    sim.post(2, order.append, "b")
+    sim.post_at(2, order.append, "c")
+    sim.schedule(2, order.append, "d")
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+    assert sim.events_processed == 4
+
+
+def test_post_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(5, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post(-1, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.post_at(3, lambda: None)
+
+
+def test_heap_compaction_preserves_order_and_counts():
+    # Cancel enough events to trigger the lazy compaction, then check the
+    # survivors still run in order and the live count stays exact.
+    sim = Simulator()
+    order = []
+    keep = [sim.schedule(2 * i + 1, order.append, i) for i in range(100)]
+    drop = [sim.schedule(2 * i, lambda: order.append("x")) for i in range(300)]
+    for event in drop:
+        event.cancel()
+    assert sim.pending == 100
+    sim.run()
+    assert order == list(range(100))
+    assert sim.events_processed == 100
+
+
 def test_step_executes_one_event():
     sim = Simulator()
     hits = []
