@@ -1,12 +1,15 @@
 """On-disk result cache for sweep points.
 
 A cache entry is keyed by a stable digest of *what would run*: the
-point's function (module-qualified name), its keyword arguments (via
-``repr``, which is stable for the config dataclasses and builtins used
-by the benches), and a **code version** — a digest over every Python
-source file in ``repro`` itself.  Any edit to the simulator therefore
-invalidates every cached result automatically; there is no way to read
-a stale number produced by old code.
+point's function (module-qualified name **plus a fingerprint of its
+defining module's source**, so editing a bench invalidates its own
+entries even though benches live outside ``repro``), its keyword
+arguments (via ``repr``, which is stable for the config dataclasses and
+builtins used by the benches), and a **code version** — a digest over
+every Python source file in ``repro`` itself.  Any edit to the
+simulator or to the bench defining the point function therefore
+invalidates the affected cached results automatically; there is no way
+to read a stale number produced by old code.
 
 Entries are pickle files named ``<digest>.pkl`` in the cache directory
 (default ``.sweep_cache/``, overridable with ``$REPRO_SWEEP_CACHE``).
@@ -17,6 +20,7 @@ Wiping the cache is always safe: delete the directory, or call
 from __future__ import annotations
 
 import hashlib
+import inspect
 import os
 import pickle
 import tempfile
@@ -28,6 +32,42 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE"
 
 _code_version: Optional[str] = None
+
+_fn_fingerprints: Dict[str, str] = {}
+
+
+def _fn_fingerprint(fn: Callable[..., Any]) -> str:
+    """Digest of the code behind ``fn``, keyed into the cache entry.
+
+    ``code_version`` only covers ``repro`` itself, but point functions
+    (the benches) live outside it; without this, editing a bench's logic
+    or module constants would keep serving stale cached results.  Prefer
+    the defining module's source file — it also captures module-level
+    constants the function reads — and fall back to the compiled
+    bytecode for functions with no reachable source (REPL, exec).
+    """
+    source = None
+    try:
+        source = inspect.getsourcefile(fn)
+    except TypeError:
+        pass
+    if source is not None:
+        cached = _fn_fingerprints.get(source)
+        if cached is not None:
+            return cached
+        try:
+            digest = hashlib.sha256(Path(source).read_bytes()).hexdigest()[:16]
+        except OSError:
+            source = None
+        else:
+            _fn_fingerprints[source] = digest
+            return digest
+    code = getattr(fn, "__code__", None)
+    if code is None:  # pragma: no cover - non-function callables
+        return "no-code"
+    h = hashlib.sha256(code.co_code)
+    h.update(repr([c for c in code.co_consts if not inspect.iscode(c)]).encode())
+    return h.hexdigest()[:16]
 
 
 def default_cache_dir() -> Path:
@@ -75,10 +115,11 @@ class ResultCache:
     # Keys
     # ------------------------------------------------------------------
     def key_for(self, fn: Callable[..., Any], kwargs: Mapping[str, Any]) -> str:
-        """Stable digest of (function identity, kwargs, code version)."""
+        """Stable digest of (function identity+code, kwargs, code version)."""
         spec = "\0".join(
             (
                 f"{fn.__module__}.{fn.__qualname__}",
+                _fn_fingerprint(fn),
                 repr(sorted(kwargs.items())),
                 self.version,
             )

@@ -26,10 +26,19 @@ def derive_seed(master: int, *components: SeedComponent) -> int:
     >>> derive_seed(1984, "twobit", 8) != derive_seed(1984, "twobit", 4)
     True
     """
+    _validate(components)
+    digest = hashlib.sha256(repr((master,) + components).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _validate(components: tuple) -> None:
+    """Reject any component (at any tuple nesting depth) whose ``repr``
+    is not guaranteed stable across processes — e.g. an object whose
+    default repr embeds its memory address."""
     for c in components:
-        if not isinstance(c, (int, float, str, bool, bytes, tuple)):
+        if isinstance(c, tuple):
+            _validate(c)
+        elif not isinstance(c, (int, float, str, bool, bytes)):
             raise TypeError(
                 f"seed component {c!r} has unstable repr; use builtin types"
             )
-    digest = hashlib.sha256(repr((master,) + components).encode()).digest()
-    return int.from_bytes(digest[:8], "big") >> 1

@@ -23,7 +23,7 @@ import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.runner.cache import ResultCache, default_cache_dir
 
@@ -97,9 +97,15 @@ class SweepReport:
         )
 
 
-def _execute(fn: Callable[..., Any], kwargs: Dict[str, Any]) -> Any:
-    # Module-level so the pool can pickle it by reference.
-    return fn(**kwargs)
+def _execute(
+    fn: Callable[..., Any], kwargs: Dict[str, Any]
+) -> Tuple[Any, float]:
+    # Module-level so the pool can pickle it by reference.  Timing lives
+    # here, in the worker, so a parallel point's elapsed reflects its own
+    # run time rather than how long the caller waited on earlier futures.
+    t0 = time.perf_counter()
+    value = fn(**kwargs)
+    return value, time.perf_counter() - t0
 
 
 def _pool(workers: int) -> ProcessPoolExecutor:
@@ -168,16 +174,14 @@ def run_sweep(
                 }
                 for i, future in futures.items():
                     point = points[i]
-                    t0 = time.perf_counter()
                     try:
-                        value = future.result()
+                        value, elapsed = future.result()
                     except Exception as exc:
                         raise SweepError(
                             f"sweep {label!r} point {point.label!r} failed: {exc}"
                         ) from exc
                     outcomes[i] = _record(
-                        point, value, time.perf_counter() - t0, cache, label,
-                        verbose,
+                        point, value, elapsed, cache, label, verbose
                     )
 
     done: List[PointOutcome] = [o for o in outcomes if o is not None]
@@ -200,14 +204,13 @@ def _run_one(
     label: str,
     verbose: bool,
 ) -> PointOutcome:
-    t0 = time.perf_counter()
     try:
-        value = _execute(point.fn, point.kwargs)
+        value, elapsed = _execute(point.fn, point.kwargs)
     except Exception as exc:
         raise SweepError(
             f"sweep {label!r} point {point.label!r} failed: {exc}"
         ) from exc
-    return _record(point, value, time.perf_counter() - t0, cache, label, verbose)
+    return _record(point, value, elapsed, cache, label, verbose)
 
 
 def _record(

@@ -195,8 +195,14 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortized O(1) per event)."""
-        self._queue = [
+        """Drop cancelled entries and re-heapify (amortized O(1) per event).
+
+        Compaction can fire from inside an event callback (via
+        ``Event.cancel``) while :meth:`run` / :meth:`step` hold a local
+        alias to the queue, so it must mutate the list in place — slice
+        assignment — rather than rebind ``self._queue``.
+        """
+        self._queue[:] = [
             entry
             for entry in self._queue
             if entry[3] is None or not entry[3].cancelled

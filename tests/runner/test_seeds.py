@@ -30,3 +30,15 @@ def test_seed_fits_in_63_bits():
 def test_unstable_components_rejected():
     with pytest.raises(TypeError):
         derive_seed(1, object())
+
+
+def test_nested_unstable_components_rejected():
+    # Tuples are validated recursively: an object with a memory-address
+    # repr must be rejected at any nesting depth, not just the top level.
+    with pytest.raises(TypeError):
+        derive_seed(1, ("twobit", (8, object())))
+
+
+def test_nested_builtin_tuples_accepted():
+    nested = ("twobit", (8, ("w", 4)))
+    assert derive_seed(1, nested) == derive_seed(1, nested)

@@ -1,5 +1,8 @@
 """Sweep runner: execution, caching, invalidation, parallel workers."""
 
+import importlib.util
+import time
+
 import pytest
 
 from repro.runner import (
@@ -9,6 +12,7 @@ from repro.runner import (
     code_version,
     run_sweep,
 )
+from repro.runner import cache as cache_mod
 
 
 # Module-level so the process pool can pickle them by reference.
@@ -18,6 +22,11 @@ def square(x, seed=0):
 
 def boom(x):
     raise ValueError(f"bad point {x}")
+
+
+def nap(x, duration):
+    time.sleep(duration)
+    return x
 
 
 def _points(xs):
@@ -68,6 +77,30 @@ def test_code_version_change_invalidates(tmp_path):
     assert not hit
     # The real version digest is tied to the repro source tree.
     assert ResultCache(tmp_path).version == code_version()
+
+
+def _load_module(path, name="fakebench"):
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_editing_point_module_invalidates(tmp_path):
+    # code_version() only covers repro/ itself, but the benches that
+    # define point functions live outside it: their source must be part
+    # of the key, or editing a bench silently serves stale results.
+    mod_path = tmp_path / "fakebench.py"
+    mod_path.write_text("REF = 2\n\ndef run(x):\n    return x * REF\n")
+    before = _load_module(mod_path)
+    cache = ResultCache(tmp_path / "cache", version="v1")
+    key_before = cache.key_for(before.run, {"x": 1})
+
+    # Edit a module-level constant the function reads (not its kwargs).
+    mod_path.write_text("REF = 3\n\ndef run(x):\n    return x * REF\n")
+    cache_mod._fn_fingerprints.clear()  # a fresh process has no memo
+    after = _load_module(mod_path)
+    assert cache.key_for(after.run, {"x": 1}) != key_before
 
 
 def test_cache_clear_and_wipe(tmp_path):
@@ -125,6 +158,22 @@ def test_parallel_results_land_in_cache(tmp_path):
     again = run_sweep(_points([4, 5, 6]), workers=2, cache_dir=tmp_path,
                       label="t")
     assert again.cache_hits == 3
+
+
+def test_parallel_elapsed_is_per_point(tmp_path):
+    # Regression: elapsed used to be measured around future.result() in
+    # submission order, so a point that finished while an earlier future
+    # was being awaited reported ~0s.  Submit the slow point first: the
+    # fast one completes during the slow one's await, yet must still
+    # report at least its own sleep time.
+    points = [
+        SweepPoint(nap, {"x": "slow", "duration": 0.3}, key="slow"),
+        SweepPoint(nap, {"x": "fast", "duration": 0.15}, key="fast"),
+    ]
+    report = run_sweep(points, workers=2, use_cache=False)
+    by_key = {o.point.key: o for o in report.outcomes}
+    assert by_key["slow"].elapsed >= 0.3
+    assert by_key["fast"].elapsed >= 0.15
 
 
 def test_failing_point_raises_sweep_error(tmp_path):

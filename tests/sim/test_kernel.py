@@ -170,6 +170,29 @@ def test_heap_compaction_preserves_order_and_counts():
     assert sim.events_processed == 100
 
 
+def test_compaction_inside_callback_keeps_run_alive():
+    # Regression: _compact() used to rebind self._queue to a new list,
+    # so when a callback cancelled enough events to trigger compaction
+    # mid-run, run() kept draining its stale alias — events scheduled
+    # after the compaction silently never executed, and popping the stale
+    # list's cancelled entries drove the cancelled count negative.
+    sim = Simulator()
+    order = []
+    victims = [sim.schedule(10, order.append, "victim") for _ in range(200)]
+
+    def massacre():
+        for event in victims:
+            event.cancel()  # crosses the compaction threshold mid-run
+        sim.schedule(1, order.append, "survivor")
+
+    sim.schedule(0, massacre)
+    sim.run()
+    assert order == ["survivor"]
+    assert sim.pending == 0
+    assert sim._cancelled == 0
+    assert sim.drain_check()
+
+
 def test_step_executes_one_event():
     sim = Simulator()
     hits = []
