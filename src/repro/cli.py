@@ -6,6 +6,7 @@ Commands:
 * ``tables``   — print the paper's Table 4-1 / Table 4-2 / thresholds.
 * ``topology`` — render the Figure 3-1 system for a configuration.
 * ``compare``  — run every protocol on one workload, tabulated.
+* ``check``    — exhaustive model check + differential conformance.
 """
 
 from __future__ import annotations
@@ -17,13 +18,22 @@ from typing import List, Optional
 from repro.analysis.dubois_briggs import generate_table_4_2
 from repro.analysis.overhead_model import compare_table_4_1, generate_table_4_1
 from repro.analysis.thresholds import generate_threshold_table
-from repro.config import NETWORKS, PROTOCOLS, MachineConfig, ProtocolOptions
+from repro.config import NETWORKS, MachineConfig, ProtocolOptions
 from repro.core.spec import render_spec
+from repro.protocols import registry
 from repro.stats.tables import Table
 from repro.system.builder import build_machine
 from repro.system.topology import describe_machine, render_topology
 from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
+
+#: Canonical names + aliases, for CLI --protocol choice lists.
+PROTOCOL_CHOICES = tuple(
+    sorted(
+        set(registry.protocol_names())
+        | {a for spec in registry.PROTOCOLS.values() for a in spec.aliases}
+    )
+)
 
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +55,7 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _build_and_run(protocol: str, args: argparse.Namespace):
+    protocol = registry.canonical_name(protocol)
     workload = DuboisBriggsWorkload(
         n_processors=args.processors,
         q=args.sharing,
@@ -73,6 +84,7 @@ def _build_and_run(protocol: str, args: argparse.Namespace):
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    args.protocol = registry.canonical_name(args.protocol)
     machine = _build_and_run(args.protocol, args)
     print(machine.results().summary())
     if args.verbose:
@@ -113,7 +125,7 @@ def cmd_topology(args: argparse.Namespace) -> int:
         n_processors=args.processors,
         n_modules=args.modules,
         network=args.network,
-        protocol=args.protocol,
+        protocol=registry.canonical_name(args.protocol),
     )
     if args.build:
         workload = DuboisBriggsWorkload(
@@ -140,7 +152,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         title=f"n={args.processors} q={args.sharing} w={args.write_frac}",
         precision=4,
     )
-    for protocol in PROTOCOLS:
+    for protocol in registry.protocol_names():
         machine = _build_and_run(protocol, args)
         audit_machine(machine).raise_if_failed()
         r = machine.results()
@@ -152,6 +164,93 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_scenarios(args: argparse.Namespace):
+    """Scenario list for ``repro check`` (depth tier + optional seeded)."""
+    from repro.verification import model_check
+
+    scenarios = list(model_check.scenarios_for(args.depth))
+    if args.seed is not None:
+        scenarios.append(model_check.random_scenario(args.seed))
+    if args.scenario is not None:
+        chosen = [s for s in scenarios if s.name == args.scenario]
+        if not chosen:
+            names = sorted(s.name for s in scenarios)
+            raise SystemExit(
+                f"unknown scenario {args.scenario!r}; choose from {names} "
+                "(seed-N scenarios need --seed N)"
+            )
+        return chosen
+    return scenarios
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.verification import differential, model_check
+    from repro.verification.schedules import parse_schedule
+
+    protocols = (
+        list(registry.protocol_names())
+        if args.protocol == "all"
+        else [registry.canonical_name(args.protocol)]
+    )
+    scenarios = _check_scenarios(args)
+
+    if args.replay is not None:
+        if len(protocols) != 1 or len(scenarios) != 1:
+            raise SystemExit(
+                "--replay needs exactly one --protocol and one --scenario"
+            )
+        scenario = scenarios[0]
+        machine = model_check.build_scenario_machine(protocols[0], scenario)
+        outcome = model_check.replay_schedule(
+            machine,
+            scenario,
+            parse_schedule(args.replay),
+            max_steps=args.max_steps,
+            collect_trace=True,
+        )
+        print(
+            f"replay {protocols[0]}/{scenario.name} "
+            f"schedule={args.replay}: {outcome.status}"
+        )
+        if outcome.detail:
+            print(f"  detail: {outcome.detail}")
+        for line in outcome.trace:
+            print(f"  {line}")
+        return 0 if outcome.status == "ok" else 1
+
+    failed = False
+    for protocol in protocols:
+        results = model_check.check_protocol(
+            protocol,
+            scenarios=scenarios,
+            max_schedules=args.max_schedules,
+            max_steps=args.max_steps,
+        )
+        for result in results:
+            print(result.summary())
+            if not result.exhausted and result.ok:
+                print(
+                    f"  WARNING: stopped at --max-schedules="
+                    f"{args.max_schedules}; interleavings NOT exhausted"
+                )
+            if result.counterexample is not None:
+                failed = True
+                print()
+                print(result.counterexample.render())
+                print()
+
+    if args.differential > 0:
+        base = args.seed if args.seed is not None else 0
+        for offset in range(args.differential):
+            refs = differential.random_refs(base + offset)
+            report = differential.run_differential(refs, protocols=protocols)
+            print(report.render() + f"  [seed {base + offset}]")
+            if not report.ok:
+                failed = True
+
+    return 1 if failed else 0
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -161,7 +260,7 @@ def make_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="simulate one machine")
-    p_run.add_argument("--protocol", choices=PROTOCOLS, default="twobit")
+    p_run.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="twobit")
     p_run.add_argument("-v", "--verbose", action="store_true",
                        help="also print the latency histogram and, for the "
                        "two-bit scheme, the global-state occupancy")
@@ -178,7 +277,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_tables.set_defaults(fn=cmd_tables)
 
     p_topo = sub.add_parser("topology", help="render Figure 3-1")
-    p_topo.add_argument("--protocol", choices=PROTOCOLS, default="twobit")
+    p_topo.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="twobit")
     p_topo.add_argument("-n", "--processors", type=int, default=4)
     p_topo.add_argument("-m", "--modules", type=int, default=2)
     p_topo.add_argument("--network", choices=NETWORKS, default="xbar")
@@ -192,6 +291,32 @@ def make_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="run every protocol")
     _add_machine_args(p_cmp)
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_check = sub.add_parser(
+        "check",
+        help="exhaustively model-check protocols + differential conformance",
+    )
+    p_check.add_argument(
+        "--protocol", choices=PROTOCOL_CHOICES + ("all",), default="all"
+    )
+    p_check.add_argument("--depth", choices=("smoke", "deep"), default="smoke",
+                         help="scenario tier to explore")
+    p_check.add_argument("--scenario", default=None,
+                         help="restrict to one scenario by name")
+    p_check.add_argument("--seed", type=int, default=None,
+                         help="add a seed-derived scenario and differential "
+                         "streams")
+    p_check.add_argument("--max-schedules", type=int, default=20_000,
+                         help="schedule cap per (protocol, scenario)")
+    p_check.add_argument("--max-steps", type=int, default=4000,
+                         help="livelock bound: events per schedule")
+    p_check.add_argument("--differential", type=int, default=3, metavar="N",
+                         help="random lockstep streams to cross-check "
+                         "(0 = off)")
+    p_check.add_argument("--replay", default=None, metavar="SCHEDULE",
+                         help="replay one schedule (e.g. '0,2,1' or '-') "
+                         "with a full trace; needs --protocol + --scenario")
+    p_check.set_defaults(fn=cmd_check)
 
     return parser
 

@@ -40,8 +40,24 @@ from repro.protocols.wt_filter import (
     WTFilterCacheController,
     WTFilterMemoryController,
 )
+from repro.protocols.registry import (
+    PROTOCOLS,
+    BuildContext,
+    ProtocolSpec,
+    canonical_name,
+    compatible_pairs,
+    protocol_names,
+    resolve,
+)
 
 __all__ = [
+    "PROTOCOLS",
+    "BuildContext",
+    "ProtocolSpec",
+    "canonical_name",
+    "compatible_pairs",
+    "protocol_names",
+    "resolve",
     "AbstractCacheController",
     "AbstractMemoryController",
     "AccessResult",

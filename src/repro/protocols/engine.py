@@ -11,12 +11,20 @@ The engine also implements the paper's queue surgery ("logic to insert
 and delete (anywhere) elements in the queue"): :meth:`scrub` removes
 queued commands matching a predicate, used to delete superseded
 MREQUESTs when an invalidation is broadcast.
+
+The lifecycle is written in pure-step form: every mutation (submit,
+complete) enqueues/retires and then calls :meth:`_pump`, which starts
+whatever :meth:`_eligible` says may run.  Starting is always synchronous
+within the mutating call — observable behaviour is identical to the
+historical start-or-queue branching — but the eligibility rule now lives
+in one inspectable place and :meth:`snapshot` exposes the full
+active/queued state, which the model checker fingerprints.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.interconnect.message import Message
 
@@ -67,29 +75,68 @@ class TransactionEngine:
     def idle(self) -> bool:
         return self.n_active == 0 and self.n_queued == 0
 
+    def snapshot(self) -> Tuple[Tuple[Message, ...], Tuple[Message, ...]]:
+        """Replay-stable ``(active, queued)`` message listings.
+
+        Actives are ordered by block (global mode has at most one);
+        queued messages keep their queue order, concatenated in block
+        order.  Used by the model checker's state fingerprinter.
+        """
+        if self.serialization == "global":
+            active = (
+                (self._global_active,) if self._global_active is not None else ()
+            )
+            return active, tuple(self._global_queue)
+        active = tuple(self._active[b] for b in sorted(self._active))
+        queued = tuple(
+            msg for b in sorted(self._queues) for msg in self._queues[b]
+        )
+        return active, queued
+
     # ------------------------------------------------------------------
-    # Lifecycle
+    # Lifecycle (pure-step: mutate, then pump eligible work)
     # ------------------------------------------------------------------
+    def _eligible(self, block: int) -> Optional[Message]:
+        """The message that may start next on ``block``, if any."""
+        if self.serialization == "global":
+            if self._global_active is None and self._global_queue:
+                return self._global_queue[0]
+            return None
+        if block in self._active:
+            return None
+        queue = self._queues.get(block)
+        return queue[0] if queue else None
+
+    def _pump(self, block: int) -> None:
+        """Start eligible transactions on ``block`` until none remain."""
+        while True:
+            nxt = self._eligible(block)
+            if nxt is None:
+                return
+            if self.serialization == "global":
+                self._global_queue.popleft()
+                self._global_active = nxt
+            else:
+                queue = self._queues[block]
+                queue.popleft()
+                if not queue:
+                    del self._queues[block]
+                self._active[block] = nxt
+                self.max_concurrency = max(
+                    self.max_concurrency, len(self._active)
+                )
+            self._start_fn(nxt)
+
     def submit(self, message: Message) -> None:
         """Start ``message``'s transaction now, or queue it."""
         if self.serialization == "global":
-            if self._global_active is None:
-                self._global_active = message
-                self._start_fn(message)
-            else:
-                self._global_queue.append(message)
-                self.max_queue_depth = max(
-                    self.max_queue_depth, len(self._global_queue)
-                )
-            return
-        block = message.block
-        if block not in self._active:
-            self._active[block] = message
-            self.max_concurrency = max(self.max_concurrency, len(self._active))
-            self._start_fn(message)
+            self._global_queue.append(message)
         else:
-            self._queues.setdefault(block, deque()).append(message)
-            self.max_queue_depth = max(self.max_queue_depth, self.n_queued)
+            self._queues.setdefault(message.block, deque()).append(message)
+        self._pump(message.block)
+        # Backlog is measured after the pump: a message that started
+        # immediately never counted as queue depth.
+        self.max_queue_depth = max(self.max_queue_depth, self.n_queued)
 
     def complete(self, block: int) -> None:
         """Finish the active transaction on ``block``; start the next."""
@@ -98,22 +145,11 @@ class TransactionEngine:
             if active is None or active.block != block:
                 raise RuntimeError(f"no active global transaction on block {block}")
             self._global_active = None
-            if self._global_queue:
-                nxt = self._global_queue.popleft()
-                self._global_active = nxt
-                self._start_fn(nxt)
-            return
-        if block not in self._active:
-            raise RuntimeError(f"no active transaction on block {block}")
-        del self._active[block]
-        queue = self._queues.get(block)
-        if queue:
-            nxt = queue.popleft()
-            self._active[block] = nxt
-            self.max_concurrency = max(self.max_concurrency, len(self._active))
-            self._start_fn(nxt)
-            if not queue:
-                self._queues.pop(block, None)
+        else:
+            if block not in self._active:
+                raise RuntimeError(f"no active transaction on block {block}")
+            del self._active[block]
+        self._pump(block)
 
     def scrub(
         self, block: int, predicate: Callable[[Message], bool]

@@ -306,3 +306,65 @@ class Simulator:
     def drain_check(self) -> bool:
         """True when no live events remain (system quiescent)."""
         return self._live == 0
+
+    # ------------------------------------------------------------------
+    # Model-checking interface
+    # ------------------------------------------------------------------
+    def enabled(self) -> List[_Entry]:
+        """Live entries due at the earliest queued cycle, in pop order.
+
+        This is the set of schedulable choices a model checker may
+        reorder: events at strictly later cycles can never legally run
+        before these, so the only interleaving freedom the kernel offers
+        is the order of same-cycle events.  The returned list is sorted
+        by ``(tie, seq)`` — index 0 is what :meth:`step` would run.
+
+        Purges cancelled entries from the head as a side effect; the
+        heap itself is not otherwise modified.
+        """
+        queue = self._queue
+        while queue:
+            head_event = queue[0][3]
+            if head_event is not None and head_event.cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            break
+        if not queue:
+            return []
+        due = queue[0][0]
+        entries = [
+            entry
+            for entry in queue
+            if entry[0] == due and (entry[3] is None or not entry[3].cancelled)
+        ]
+        entries.sort(key=lambda entry: (entry[1], entry[2]))
+        return entries
+
+    def step_select(self, index: int) -> None:
+        """Execute the ``index``-th entry of :meth:`enabled`.
+
+        The model checker's counterpart to :meth:`step`:
+        ``step_select(0)`` is exactly ``step()``, any other index runs a
+        same-cycle event out of its deterministic order.  Removal is
+        O(n) + heapify — acceptable because model-checked configurations
+        keep the queue tiny; the production :meth:`run` path is
+        untouched.
+        """
+        entries = self.enabled()
+        if not 0 <= index < len(entries):
+            raise SimulationError(
+                f"step_select({index}): only {len(entries)} enabled events"
+            )
+        entry = entries[index]
+        # seq (entry[2]) is unique, so tuple equality identifies exactly
+        # this entry without comparing the payload fields.
+        self._queue.remove(entry)
+        heapq.heapify(self._queue)
+        self._live -= 1
+        event = entry[3]
+        if event is not None:
+            event._sim = None  # detach: late cancel() is a no-op
+        self.now = entry[0]
+        entry[4](*entry[5])
+        self._events_processed += 1

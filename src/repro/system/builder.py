@@ -1,13 +1,15 @@
 """Build a simulated multiprocessor from a :class:`MachineConfig`.
 
 The builder realizes Figure 3-1: ``n`` processor-cache pairs and ``m``
-controller-memory pairs joined by an interconnection network, with the
-protocol selected by ``config.protocol``.
+controller-memory pairs joined by an interconnection network.  Protocol
+component wiring is delegated to the central registry
+(:mod:`repro.protocols.registry`); the builder only assembles the
+protocol-independent skeleton around it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Set
+from typing import Callable
 
 from repro.interconnect.bus import Bus
 from repro.interconnect.delta import DeltaNetwork
@@ -15,32 +17,13 @@ from repro.interconnect.network import Network, PointToPointNetwork
 from repro.memory.address import AddressMap
 from repro.memory.module import MemoryModule
 from repro.processors.processor import Processor
+from repro.protocols import registry
 from repro.sim.kernel import Simulator
 from repro.stats.counters import CounterRegistry
 from repro.config import MachineConfig
 from repro.system.machine import Machine
 from repro.verification.oracle import CoherenceOracle
 from repro.workloads.synthetic import Workload
-
-from repro.core.controller import TwoBitDirectoryController
-from repro.protocols.cache_side import DirectoryCacheController
-from repro.protocols.classical import (
-    ClassicalCacheController,
-    ClassicalMemoryController,
-)
-from repro.protocols.fullmap import FullMapDirectoryController
-from repro.protocols.fullmap_local import (
-    LocalStateCacheController,
-    LocalStateFullMapController,
-)
-from repro.protocols.illinois import IllinoisBusManager, IllinoisCacheController
-from repro.protocols.snoop import SnoopBusManager
-from repro.protocols.static import StaticCacheController, StaticMemoryController
-from repro.protocols.write_once import WriteOnceCacheController
-from repro.protocols.wt_filter import (
-    WTFilterCacheController,
-    WTFilterMemoryController,
-)
 
 
 def build_network(sim: Simulator, config: MachineConfig) -> Network:
@@ -78,109 +61,28 @@ def build_machine(config: MachineConfig, workload: Workload) -> Machine:
     net = build_network(sim, config)
     home_fn: Callable[[int], str] = lambda block: f"ctrl{amap.home(block)}"
 
-    caches: List = []
-    controllers: List = []
-    managers: List = []
-
-    if config.protocol in ("twobit", "fullmap", "fullmap_local"):
-        cache_cls = (
-            LocalStateCacheController
-            if config.protocol == "fullmap_local"
-            else DirectoryCacheController
-        )
-        caches = [
-            cache_cls(sim, pid, config, net, home_fn, oracle)
-            for pid in range(config.n_processors)
-        ]
-
-        def holders_fn(block: int) -> Set[int]:
-            # Ground truth for the forced-hit translation buffer.  Must be
-            # conservative: include caches whose fill for the block is in
-            # flight (they are owners from the directory's point of view) —
-            # missing one would skip a required invalidation.
-            holders = set()
-            for cache in caches:
-                if cache.holds(block) is not None or block in cache.wb_buffer:
-                    holders.add(cache.pid)
-                elif (
-                    cache.pending is not None
-                    and cache.pending.ref.block == block
-                ):
-                    holders.add(cache.pid)
-            return holders
-
-        for i, module in enumerate(modules):
-            if config.protocol == "twobit":
-                ctrl = TwoBitDirectoryController(
-                    sim, i, config, net, module, config.n_processors,
-                    holders_fn=holders_fn,
-                )
-            elif config.protocol == "fullmap":
-                ctrl = FullMapDirectoryController(
-                    sim, i, config, net, module, config.n_processors
-                )
-            else:
-                ctrl = LocalStateFullMapController(
-                    sim, i, config, net, module, config.n_processors
-                )
-            controllers.append(ctrl)
+    spec = registry.resolve(config.protocol)
+    ctx = registry.BuildContext(
+        sim=sim,
+        config=config,
+        net=net,
+        modules=modules,
+        amap=amap,
+        home_fn=home_fn,
+        oracle=oracle,
+    )
+    caches, controllers, managers = spec.assemble(ctx)
+    if registry.attaches_endpoints(spec.name):
         _attach_all(net, caches, controllers)
-    elif config.protocol in ("classical", "twobit_wt"):
-        cache_cls = (
-            WTFilterCacheController
-            if config.protocol == "twobit_wt"
-            else ClassicalCacheController
-        )
-        ctrl_cls = (
-            WTFilterMemoryController
-            if config.protocol == "twobit_wt"
-            else ClassicalMemoryController
-        )
-        caches = [
-            cache_cls(sim, pid, config, net, home_fn, oracle)
-            for pid in range(config.n_processors)
-        ]
-        for i, module in enumerate(modules):
-            ctrl = ctrl_cls(sim, i, config, net, module, oracle)
-            ctrl.caches = caches
-            controllers.append(ctrl)
-        _attach_all(net, caches, controllers)
-    elif config.protocol == "static":
-        caches = [
-            StaticCacheController(sim, pid, config, net, home_fn, oracle)
-            for pid in range(config.n_processors)
-        ]
-        controllers = [
-            StaticMemoryController(sim, i, config, net, module, oracle)
-            for i, module in enumerate(modules)
-        ]
-        _attach_all(net, caches, controllers)
-    else:  # snooping protocols on the bus
-        assert isinstance(net, Bus)
-        manager_cls = (
-            IllinoisBusManager if config.protocol == "illinois" else SnoopBusManager
-        )
-        manager = manager_cls(sim, config, net, modules, amap)
-        cache_cls = (
-            IllinoisCacheController
-            if config.protocol == "illinois"
-            else WriteOnceCacheController
-        )
-        caches = [
-            cache_cls(sim, pid, config, manager, oracle)
-            for pid in range(config.n_processors)
-        ]
-        manager.caches = caches
-        managers.append(manager)
 
     processors = [
         Processor(sim, pid, caches[pid], workload.stream(pid))
         for pid in range(config.n_processors)
     ]
 
-    registry = CounterRegistry()
+    registry_counters = CounterRegistry()
     for component in [*caches, *controllers, *processors, *managers, net, *modules]:
-        registry.register(component.counters)
+        registry_counters.register(component.counters)
 
     return Machine(
         config=config,
@@ -194,7 +96,7 @@ def build_machine(config: MachineConfig, workload: Workload) -> Machine:
         modules=modules,
         network=net,
         managers=managers,
-        registry=registry,
+        registry=registry_counters,
     )
 
 

@@ -23,7 +23,39 @@ from typing import Dict, List, Optional
 
 
 class CoherenceViolation(AssertionError):
-    """A read observably returned stale data."""
+    """A read observably returned stale data.
+
+    Carries the violation as structured fields so tooling (the model
+    checker's counterexamples, the differential harness) can consume it
+    without parsing the message:
+
+    Attributes:
+        block: block address that was read.
+        pid: processor that issued the read.
+        issue_time: cycle the read was issued.
+        observed: version the read returned.
+        required: minimum version the commit history demanded.
+        known: whether ``observed`` was ever actually written.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        block: Optional[int] = None,
+        pid: Optional[int] = None,
+        issue_time: Optional[int] = None,
+        observed: Optional[int] = None,
+        required: Optional[int] = None,
+        known: bool = True,
+    ) -> None:
+        super().__init__(message)
+        self.block = block
+        self.pid = pid
+        self.issue_time = issue_time
+        self.observed = observed
+        self.required = required
+        self.known = known
 
 
 @dataclass
@@ -92,7 +124,15 @@ class CoherenceOracle:
             )
             self.violations.append(detail)
             if self.strict:
-                raise CoherenceViolation(detail)
+                raise CoherenceViolation(
+                    detail,
+                    block=block,
+                    pid=pid,
+                    issue_time=issue_time,
+                    observed=version,
+                    required=floor,
+                    known=known,
+                )
 
     # ------------------------------------------------------------------
     # Introspection

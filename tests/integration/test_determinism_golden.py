@@ -17,6 +17,7 @@ import pytest
 
 from repro.config import MachineConfig
 from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
 
 #: seed -> (events_processed, final_cycle, extra_commands_per_ref,
@@ -36,6 +37,9 @@ def _run(seed):
     config = MachineConfig(n_processors=4, n_modules=2, protocol="twobit")
     machine = build_machine(config, workload)
     machine.run(refs_per_proc=300, warmup_refs=50)
+    # The golden runs double as coherence regressions: a drift that keeps
+    # the event count but corrupts protocol state must still fail here.
+    audit_machine(machine).raise_if_failed()
     results = machine.results()
     return (
         machine.sim.events_processed,

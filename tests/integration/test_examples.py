@@ -50,6 +50,29 @@ def test_verification_demo_shows_a_violation():
     assert "requires >= v" in result.stdout
 
 
+def test_quickstart_machine_audits_clean_in_process():
+    """The quickstart configuration, run in-process and fully audited —
+    subprocess smoke tests only see stdout; this sees the state."""
+    from repro import (
+        DuboisBriggsWorkload,
+        MachineConfig,
+        audit_machine,
+        build_machine,
+    )
+
+    workload = DuboisBriggsWorkload(
+        n_processors=4, q=0.05, w=0.2, n_shared_blocks=16,
+        private_blocks_per_proc=64, seed=1984,
+    )
+    config = MachineConfig(
+        n_processors=4, n_modules=2, n_blocks=workload.n_blocks,
+        cache_sets=8, cache_assoc=4, protocol="twobit", network="xbar",
+    )
+    machine = build_machine(config, workload)
+    machine.run(refs_per_proc=800, warmup_refs=100)
+    audit_machine(machine).raise_if_failed()
+
+
 def test_all_examples_present_and_documented():
     scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
     assert len(scripts) >= 8

@@ -118,3 +118,32 @@ def test_fifo_order_within_block():
 def test_invalid_serialization_rejected():
     with pytest.raises(ValueError):
         TransactionEngine(lambda m: None, "banana")
+
+
+def test_snapshot_reflects_active_and_queued():
+    engine, started = make("block")
+    first, second, third = msg(1), msg(1, src="cache1"), msg(2)
+    engine.submit(first)
+    engine.submit(second)
+    engine.submit(third)
+    active, queued = engine.snapshot()
+    # blocks 1 and 2 active (distinct blocks run concurrently); the
+    # second block-1 request waits.
+    assert active == (first, third)  # block-sorted
+    assert queued == (second,)
+    engine.complete(1)
+    active_after, queued_after = engine.snapshot()
+    # The queued block-1 request was pumped straight into the actives.
+    assert active_after == (second, third) and not queued_after
+
+
+def test_snapshot_order_is_replay_stable():
+    def run():
+        engine, _ = make("block")
+        for m in (msg(2), msg(1), msg(1, src="cache1")):
+            engine.submit(m)
+        active, queued = engine.snapshot()
+        return [(m.src, m.block) for m in active + queued]
+
+    # Message uids differ between runs; the structural view must not.
+    assert run() == run() == [("cache0", 1), ("cache0", 2), ("cache1", 1)]

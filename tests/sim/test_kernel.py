@@ -237,3 +237,69 @@ def test_run_is_not_reentrant():
     sim.schedule(0, reenter)
     sim.run()
     assert len(errors) == 1
+
+
+# ----------------------------------------------------------------------
+# Model-checking choice API: enabled() / step_select()
+# ----------------------------------------------------------------------
+def test_enabled_lists_same_cycle_events_in_pop_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2, order.append, "a")
+    sim.schedule(2, order.append, "b")
+    sim.schedule(5, order.append, "later")
+    entries = sim.enabled()
+    assert [e[5][0] for e in entries] == ["a", "b"]  # due events only
+    assert order == []  # enabled() never executes anything
+
+
+def test_step_select_zero_matches_step():
+    def build():
+        sim = Simulator()
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1, order.append, tag)
+        return sim, order
+
+    stepped, order_step = build()
+    stepped.step()
+    selected, order_sel = build()
+    selected.step_select(0)
+    assert order_step == order_sel == ["a"]
+    assert stepped.now == selected.now
+
+
+def test_step_select_reorders_ties():
+    sim = Simulator()
+    order = []
+    for tag in ("a", "b", "c"):
+        sim.schedule(1, order.append, tag)
+    sim.step_select(2)
+    sim.step_select(0)
+    sim.step_select(0)
+    assert order == ["c", "a", "b"]
+    assert not sim.enabled()
+
+
+def test_step_select_rejects_out_of_range():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    with pytest.raises(SimulationError, match="step_select"):
+        sim.step_select(1)
+
+
+def test_enabled_skips_cancelled_events():
+    sim = Simulator()
+    order = []
+    keep = sim.schedule(3, order.append, "keep")  # noqa: F841
+    drop = sim.schedule(3, order.append, "drop")
+    drop.cancel()
+    entries = sim.enabled()
+    assert [e[5][0] for e in entries] == ["keep"]
+    sim.step_select(0)
+    assert order == ["keep"]
+
+
+def test_enabled_empty_when_drained():
+    sim = Simulator()
+    assert sim.enabled() == []

@@ -95,3 +95,49 @@ def test_parser_rejects_unknown_protocol():
 def test_command_required():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_check_smoke_single_protocol(capsys):
+    code = main(
+        ["check", "--protocol", "twobit", "--depth", "smoke",
+         "--differential", "1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS (exhausted)" in out
+    assert "all protocols agree" in out
+
+
+def test_check_accepts_protocol_alias(capsys):
+    code = main(
+        ["check", "--protocol", "two_bit", "--depth", "smoke",
+         "--differential", "0"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "twobit" in out
+
+
+def test_check_replay_prints_trace(capsys):
+    code = main(
+        ["check", "--protocol", "twobit", "--scenario", "smoke-2p1b",
+         "--replay", "0,1", "--differential", "0"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replay twobit/smoke-2p1b" in out
+    assert "t=0" in out
+
+
+def test_check_unknown_scenario_exits(capsys):
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        main(["check", "--protocol", "twobit", "--scenario", "nope"])
+
+
+def test_run_accepts_alias(capsys):
+    code = main(
+        ["run", "--protocol", "mesi", "--refs", "50", "--warmup", "10",
+         "-n", "2", "-m", "1"]
+    )
+    assert code == 0
+    assert "coherence audit: CLEAN" in capsys.readouterr().out

@@ -96,3 +96,35 @@ def test_statistics():
     oracle.check_read(1, v, issue_time=2, pid=1)
     assert oracle.writes_committed == 1
     assert oracle.reads_checked == 1
+
+
+def test_violation_carries_structured_fields():
+    oracle = CoherenceOracle(strict=True)
+    v = oracle.new_version()
+    oracle.commit_write(3, v, time=5, pid=0)
+    with pytest.raises(CoherenceViolation) as excinfo:
+        oracle.check_read(3, 0, issue_time=10, pid=1)
+    violation = excinfo.value
+    assert violation.block == 3
+    assert violation.pid == 1
+    assert violation.issue_time == 10
+    assert violation.observed == 0
+    assert violation.required == v
+    assert violation.known is True
+    # The message stays human-readable alongside the fields.
+    assert f"requires >= v{v}" in str(violation)
+
+
+def test_unknown_version_violation_is_flagged():
+    oracle = CoherenceOracle(strict=True)
+    with pytest.raises(CoherenceViolation) as excinfo:
+        oracle.check_read(1, 42, issue_time=10, pid=0)  # never written
+    assert excinfo.value.known is False
+    assert excinfo.value.observed == 42
+
+
+def test_violation_fields_default_to_none():
+    violation = CoherenceViolation("free-form message")
+    assert violation.block is None
+    assert violation.pid is None
+    assert violation.observed is None
