@@ -43,3 +43,26 @@ def test_machine_reference_throughput(benchmark):
 
     refs = benchmark(run)
     assert refs == 2000
+
+
+def test_machine_instrumented_throughput(benchmark):
+    """Same machine with telemetry on (metrics-only mode): measures the
+    probe cost itself, not a regression bar.  The probes-off bar is the
+    ``--gate`` mode of record_bench.py."""
+    from repro.obs import instrument_machine
+
+    workload = DuboisBriggsWorkload(
+        n_processors=4, q=0.05, w=0.2, private_blocks_per_proc=64, seed=3
+    )
+    config = MachineConfig(
+        n_processors=4, n_modules=2, n_blocks=workload.n_blocks
+    )
+
+    def run():
+        machine = build_machine(config, workload)
+        instrument_machine(machine, sample_interval=200, keep_events=False)
+        machine.run(refs_per_proc=500)
+        return machine.results().total_refs
+
+    refs = benchmark(run)
+    assert refs == 2000

@@ -3,16 +3,26 @@
 
 Usage (from the repo root)::
 
-    PYTHONPATH=src python benchmarks/record_bench.py
+    PYTHONPATH=src python benchmarks/record_bench.py          # record
+    PYTHONPATH=src python benchmarks/record_bench.py --gate   # CI check
 
 Runs ``bench_kernel_speed.py`` under pytest-benchmark, converts the
 timings into throughput (events/sec for the bare kernel churn, refs/sec
 for the full two-bit machine), and rewrites ``BENCH_kernel.json`` at the
 repo root, including the speedup over the recorded seed baseline.
+
+``--gate`` compares a fresh run against the *stored* BENCH_kernel.json
+without rewriting it.  Raw wall-clock drifts with the host, so the bare
+kernel churn (which has no probe sites) is used as a hardware
+calibrator: the gate fails when a machine bench slows down more than
+``BENCH_GATE_TOLERANCE`` (default 2%) *beyond* whatever the calibrator
+moved.  This is the instrumentation-overhead bar: probes-off machine
+throughput must stay within tolerance of the recorded baseline.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
@@ -28,7 +38,13 @@ OUTPUT = ROOT / "BENCH_kernel.json"
 WORK_UNITS = {
     "test_kernel_event_throughput": ("events", 10_001),
     "test_machine_reference_throughput": ("refs", 2_000),
+    "test_machine_instrumented_throughput": ("refs", 2_000),
 }
+
+#: The gate's hardware calibrator: no probe sites on its path, so any
+#: drift it shows is the host, not the code under test.
+GATE_CALIBRATOR = "test_kernel_event_throughput"
+DEFAULT_GATE_TOLERANCE = 0.02
 
 #: Pre-optimization numbers, measured on this container at the seed
 #: kernel (dataclass events, O(n) pending scans, per-message dataclass
@@ -103,8 +119,76 @@ def build_record(payload: dict) -> dict:
     return record
 
 
-def main() -> None:
+def check_gate(record: dict, stored: dict, tolerance: float) -> list:
+    """Calibrated regression check; returns the names that failed.
+
+    Benches present in the fresh run but absent from the stored file
+    (e.g. newly added ones) are skipped — they gain a bar the next time
+    the file is re-recorded.
+    """
+    current = record["benchmarks"]
+    baseline = stored["benchmarks"]
+    if GATE_CALIBRATOR not in current or GATE_CALIBRATOR not in baseline:
+        raise SystemExit(f"gate: calibrator bench {GATE_CALIBRATOR} missing")
+    # A real regression shifts both the mean and the floor (min); host
+    # noise usually inflates only one of them in any given run.  Judge
+    # each bench by whichever statistic looks better, so the gate stays
+    # meaningful on loud shared runners without going soft on genuine
+    # slowdowns.
+    stats = ("mean_s", "min_s")
+    kernel_ratio = {
+        s: current[GATE_CALIBRATOR][s] / baseline[GATE_CALIBRATOR][s]
+        for s in stats
+    }
+    print(
+        "gate: host calibration "
+        + ", ".join(f"{s} x{kernel_ratio[s]:.3f}" for s in stats)
+        + f" ({GATE_CALIBRATOR})"
+    )
+    failed = []
+    for name, entry in current.items():
+        if name == GATE_CALIBRATOR:
+            continue
+        if name not in baseline:
+            print(f"gate: {name}: no stored baseline, skipped")
+            continue
+        overheads = {
+            s: (entry[s] / baseline[name][s]) / kernel_ratio[s] - 1
+            for s in stats
+        }
+        overhead = min(overheads.values())
+        verdict = "ok" if overhead <= tolerance else "FAIL"
+        print(
+            f"gate: {name}: calibrated overhead "
+            + ", ".join(f"{s} {overheads[s]:+.1%}" for s in stats)
+            + f" (limit +{tolerance:.0%}): {verdict}"
+        )
+        if overhead > tolerance:
+            failed.append(name)
+    return failed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="compare against the stored BENCH_kernel.json instead of "
+        "rewriting it; exit 1 on a calibrated regression",
+    )
+    args = parser.parse_args()
     record = build_record(run_benchmarks())
+    if args.gate:
+        tolerance = float(
+            os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_GATE_TOLERANCE)
+        )
+        stored = json.loads(OUTPUT.read_text())
+        failed = check_gate(record, stored, tolerance)
+        if failed:
+            print(f"gate: FAILED ({', '.join(failed)})")
+            return 1
+        print("gate: PASSED")
+        return 0
     OUTPUT.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {OUTPUT}")
     for name, entry in record["benchmarks"].items():
@@ -113,7 +197,8 @@ def main() -> None:
         if "speedup_vs_baseline" in entry:
             line += f" ({entry['speedup_vs_baseline']:.2f}x vs seed baseline)"
         print(line)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

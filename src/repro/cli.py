@@ -3,10 +3,16 @@
 Commands:
 
 * ``run``      — simulate one machine and print results + audit verdict.
+* ``trace``    — simulate with full telemetry and export a Perfetto trace.
 * ``tables``   — print the paper's Table 4-1 / Table 4-2 / thresholds.
 * ``topology`` — render the Figure 3-1 system for a configuration.
 * ``compare``  — run every protocol on one workload, tabulated.
 * ``check``    — exhaustive model check + differential conformance.
+
+``run`` and ``compare`` accept ``--metrics-out metrics.jsonl`` to dump
+per-outcome latency histograms, span-phase breakdowns, and time-series
+samples (schema in ``docs/observability.md``); ``check`` accepts
+``--trace-out`` to export a counterexample's minimized replay.
 """
 
 from __future__ import annotations
@@ -54,7 +60,28 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="enable the duplicate-directory enhancement")
 
 
-def _build_and_run(protocol: str, args: argparse.Namespace):
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write latency/phase/sampler metrics as JSONL "
+                        "(schema: docs/observability.md)")
+    parser.add_argument("--sample-interval", type=int, default=200,
+                        metavar="CYCLES",
+                        help="time-series sampler window (0 = off)")
+
+
+def _build_and_run(
+    protocol: str,
+    args: argparse.Namespace,
+    instrument: bool = False,
+    keep_events: bool = False,
+):
+    """Build, (optionally) instrument, and run one machine.
+
+    Returns ``(machine, obs)`` where ``obs`` is None unless
+    ``instrument`` was requested (or the args carry ``--metrics-out``).
+    """
+    from repro.obs import instrument_machine
+
     protocol = registry.canonical_name(protocol)
     workload = DuboisBriggsWorkload(
         n_processors=args.processors,
@@ -79,17 +106,45 @@ def _build_and_run(protocol: str, args: argparse.Namespace):
         ),
     )
     machine = build_machine(config, workload)
+    obs = None
+    if instrument or getattr(args, "metrics_out", None):
+        obs = instrument_machine(
+            machine,
+            sample_interval=getattr(args, "sample_interval", 200),
+            keep_events=keep_events,
+        )
     machine.run(refs_per_proc=args.refs, warmup_refs=args.warmup)
-    return machine
+    return machine, obs
+
+
+def _write_metrics(path: str, machine, obs, append: bool = False) -> None:
+    from repro.obs import machine_metrics_records, write_jsonl
+
+    records = machine_metrics_records(machine, obs)
+    if append:
+        import json
+
+        with open(path, "a", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    else:
+        write_jsonl(path, records)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     args.protocol = registry.canonical_name(args.protocol)
-    machine = _build_and_run(args.protocol, args)
+    machine, obs = _build_and_run(args.protocol, args)
     print(machine.results().summary())
+    if obs is not None and args.metrics_out:
+        _write_metrics(args.metrics_out, machine, obs)
+        print(f"metrics written to {args.metrics_out}")
     if args.verbose:
         print()
         print(machine.latency_histogram().render())
+        if obs is not None and obs.latency:
+            print("\nper-outcome latency (cycles):")
+            for outcome, hist in sorted(obs.latency.items()):
+                print(f"  {hist.summary_line()}")
         if args.protocol in ("twobit",):
             occ = machine.state_occupancy()
             print("\nglobal-state occupancy (time-weighted, all blocks):")
@@ -152,15 +207,51 @@ def cmd_compare(args: argparse.Namespace) -> int:
         title=f"n={args.processors} q={args.sharing} w={args.write_frac}",
         precision=4,
     )
-    for protocol in registry.protocol_names():
-        machine = _build_and_run(protocol, args)
+    reports = []
+    for i, protocol in enumerate(registry.protocol_names()):
+        machine, obs = _build_and_run(protocol, args)
         audit_machine(machine).raise_if_failed()
         r = machine.results()
         table.add_row(
             [protocol, r.commands_per_ref, r.extra_commands_per_ref,
              r.stolen_cycles_per_ref, r.miss_ratio, r.avg_latency]
         )
+        if obs is not None and args.metrics_out:
+            # One JSONL file; each protocol contributes its own "run"
+            # header record, so consumers can split by protocol.
+            _write_metrics(args.metrics_out, machine, obs, append=i > 0)
+        if args.verbose:
+            reports.append(f"[{protocol}]\n{machine.registry.report()}")
     print(table.render())
+    if args.metrics_out:
+        print(f"metrics written to {args.metrics_out}")
+    for report in reports:
+        print()
+        print(report)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace
+
+    args.protocol = registry.canonical_name(args.protocol)
+    machine, obs = _build_and_run(
+        args.protocol, args, instrument=True, keep_events=True
+    )
+    obs.flush(machine.sim.now)
+    count = write_chrome_trace(args.out, obs)
+    print(
+        f"trace written to {args.out}: {count} events, "
+        f"{len(obs.spans)} spans over {machine.sim.now} cycles "
+        f"(load in https://ui.perfetto.dev)"
+    )
+    if args.metrics_out:
+        _write_metrics(args.metrics_out, machine, obs)
+        print(f"metrics written to {args.metrics_out}")
+    report = audit_machine(machine)
+    if not report.ok:
+        print("coherence audit: FAILED")
+        return 1
     return 0
 
 
@@ -201,6 +292,13 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
         scenario = scenarios[0]
         machine = model_check.build_scenario_machine(protocols[0], scenario)
+        obs = None
+        if args.trace_out:
+            from repro.obs import instrument_machine
+
+            obs = instrument_machine(
+                machine, sample_interval=0, keep_events=True
+            )
         outcome = model_check.replay_schedule(
             machine,
             scenario,
@@ -216,6 +314,11 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"  detail: {outcome.detail}")
         for line in outcome.trace:
             print(f"  {line}")
+        if obs is not None:
+            from repro.obs import write_chrome_trace
+
+            count = write_chrome_trace(args.trace_out, obs)
+            print(f"replay trace written to {args.trace_out}: {count} events")
         return 0 if outcome.status == "ok" else 1
 
     failed = False
@@ -237,6 +340,15 @@ def cmd_check(args: argparse.Namespace) -> int:
                 failed = True
                 print()
                 print(result.counterexample.render())
+                if args.trace_out:
+                    count = result.counterexample.write_chrome_trace(
+                        args.trace_out
+                    )
+                    print(
+                        f"counterexample trace written to "
+                        f"{args.trace_out}: {count} events"
+                    )
+                    args.trace_out = None  # keep only the first failure
                 print()
 
     if args.differential > 0:
@@ -265,7 +377,21 @@ def make_parser() -> argparse.ArgumentParser:
                        help="also print the latency histogram and, for the "
                        "two-bit scheme, the global-state occupancy")
     _add_machine_args(p_run)
+    _add_obs_args(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate with telemetry and export a Perfetto/Chrome trace",
+    )
+    p_trace.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                         default="twobit")
+    _add_machine_args(p_trace)
+    p_trace.add_argument("--out", required=True, metavar="PATH",
+                         help="Chrome trace-event JSON output path "
+                         "(load in https://ui.perfetto.dev)")
+    _add_obs_args(p_trace)
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument(
@@ -290,6 +416,9 @@ def make_parser() -> argparse.ArgumentParser:
 
     p_cmp = sub.add_parser("compare", help="run every protocol")
     _add_machine_args(p_cmp)
+    _add_obs_args(p_cmp)
+    p_cmp.add_argument("-v", "--verbose", action="store_true",
+                       help="also print merged counter totals per protocol")
     p_cmp.set_defaults(fn=cmd_compare)
 
     p_check = sub.add_parser(
@@ -316,6 +445,9 @@ def make_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--replay", default=None, metavar="SCHEDULE",
                          help="replay one schedule (e.g. '0,2,1' or '-') "
                          "with a full trace; needs --protocol + --scenario")
+    p_check.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="export the first counterexample's minimized "
+                         "replay (or the --replay run) as a Chrome trace")
     p_check.set_defaults(fn=cmd_check)
 
     return parser

@@ -74,6 +74,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
             clock=lambda: self.sim.now,
             keep_present1=opts.keep_present1,
         )
+        self.directory.observer = self._state_changed
         self.engine = TransactionEngine(self._begin, opts.serialization)
         self.tbuf = TranslationBuffer(
             capacity=opts.translation_buffer_entries,
@@ -115,6 +116,14 @@ class TwoBitDirectoryController(AbstractMemoryController):
         else:
             raise ValueError(f"{self.name} cannot handle {message!r}")
 
+    def _state_changed(
+        self, block: int, old: GlobalState, new: GlobalState
+    ) -> None:
+        """Directory transition probe (installed as ``directory.observer``)."""
+        obs = self.sim.obs
+        if obs is not None:
+            obs.on_state(self.name, self.sim.now, block, old, new)
+
     def _on_mreq_cancel(self, message: Message) -> None:
         """Withdraw a queued MREQUEST whose sender converted to a write
         miss (see DESIGN.md ambiguity #6 — granting it would create a
@@ -147,6 +156,16 @@ class TwoBitDirectoryController(AbstractMemoryController):
 
     def _dispatch(self, txn: _Txn) -> None:
         msg = txn.msg
+        obs = self.sim.obs
+        if (
+            obs is not None
+            and msg.requester is not None
+            and msg.kind in (MessageKind.REQUEST, MessageKind.MREQUEST)
+        ):
+            # EJECTs also carry a requester, but they service the victim
+            # block — marking them would pollute the requester's active
+            # miss span with an unrelated directory visit.
+            obs.span_phase(msg.requester, self.sim.now, "directory")
         if msg.kind is MessageKind.REQUEST:
             if msg.rw == "read":
                 self._do_read_request(txn)
@@ -243,6 +262,9 @@ class TwoBitDirectoryController(AbstractMemoryController):
     def _grant_modify(self, txn: _Txn, granted: bool) -> None:
         block = txn.msg.block
         requester = self._requester(txn)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_phase(requester, self.sim.now, "grant")
         if granted:
             self.directory.set_state(block, GlobalState.PRESENTM)
             self.tbuf.establish(block, {requester})
@@ -347,6 +369,9 @@ class TwoBitDirectoryController(AbstractMemoryController):
     def _send_invalidations(self, txn: _Txn) -> None:
         block = txn.msg.block
         requester = self._requester(txn)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_phase(requester, self.sim.now, "fanout")
         opts = self.config.options
         if opts.scrub_queued_mrequests:
             removed = self.engine.scrub(
@@ -428,6 +453,9 @@ class TwoBitDirectoryController(AbstractMemoryController):
     def _send_query(self, txn: _Txn, rw: str, force_broadcast: bool = False) -> None:
         block = txn.msg.block
         requester = self._requester(txn)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_phase(requester, self.sim.now, "fanout")
         targets = (
             None
             if force_broadcast
@@ -557,6 +585,9 @@ class TwoBitDirectoryController(AbstractMemoryController):
         """
         block = txn.msg.block
         requester = self._requester(txn)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_phase(requester, self.sim.now, "grant")
         if version is None:
             version = self.module.read(block)
         else:

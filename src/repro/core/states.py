@@ -53,6 +53,9 @@ class TwoBitDirectory:
     ) -> None:
         self._clock = clock if clock is not None else (lambda: 0)
         self.keep_present1 = keep_present1
+        #: Optional ``observer(block, old, new)`` invoked after each
+        #: stored transition (the controller routes it to ``repro.obs``).
+        self.observer: Optional[Callable[[int, GlobalState, GlobalState], None]] = None
         self._states: Dict[int, GlobalState] = {
             block: GlobalState.ABSENT for block in blocks
         }
@@ -87,6 +90,8 @@ class TwoBitDirectory:
         if state is not old:
             self.transitions += 1
         self._states[block] = state
+        if self.observer is not None:
+            self.observer(block, old, state)
         return state
 
     # ------------------------------------------------------------------

@@ -78,6 +78,9 @@ class Network(Component):
             ) from None
         self._account(message)
         delivery = self._delivery_time(message)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.on_send(message, self.sim.now, delivery, track=self.name)
         self.sim.post_at(delivery, deliver, message)
 
     def broadcast(
@@ -93,6 +96,14 @@ class Network(Component):
         recipients = [n for n in self._broadcast_group if n not in excluded]
         self.counters.add("broadcasts")
         self.counters.add("broadcast_deliveries", len(recipients))
+        obs = self.sim.obs
+        if obs is not None:
+            # Before _broadcast_times: bus subclasses deliver the copies
+            # inside that hook and return [].
+            obs.on_broadcast(
+                message, self.sim.now, len(recipients), excluded,
+                track=self.name,
+            )
         for name in self._broadcast_times(message, recipients):
             copy = message.copy_for(name)
             self._account(copy)

@@ -1,0 +1,127 @@
+"""Wiring an :class:`~repro.obs.core.Observability` onto a built machine.
+
+:func:`instrument_machine` is the one call sites need: it installs the
+hub on ``machine.sim.obs`` (turning every probe site on), and registers
+a system-wide :class:`~repro.obs.sampler.TimeSeriesSampler` covering
+
+* interconnect utilization (traffic units / commands / data transfers
+  per window, plus bus busy/wait cycles where the network has them),
+* per-controller directory occupancy (active + queued transactions)
+  and memory-module backlog (cycles of reserved memory time ahead of
+  the clock — the queue-depth proxy for the paper's ``b_j`` modules),
+* the outstanding-transaction count (spans between issue and retire).
+
+Instrumentation is observation-only: no kernel events are posted and no
+protocol state is touched, so an instrumented run is bit-identical to a
+bare run (asserted by the determinism golden tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.core import Observability
+from repro.obs.export import metrics_records
+from repro.obs.sampler import TimeSeriesSampler
+
+#: Cumulative network counters sampled as per-window rates.
+_NET_RATES = (
+    "traffic_units",
+    "commands",
+    "data_transfers",
+    "busy_cycles",
+    "wait_cycles",
+)
+
+
+def instrument_machine(
+    machine,
+    sample_interval: int = 200,
+    keep_events: bool = True,
+) -> Observability:
+    """Install and return an observability hub on ``machine``.
+
+    Args:
+        machine: a built (not yet run) :class:`~repro.system.machine.
+            Machine`; re-instrumenting replaces any previous hub.
+        sample_interval: time-series window size in cycles; ``0``
+            disables sampling.
+        keep_events: retain raw events and spans for trace export.
+            ``False`` keeps only histograms and sampler windows — the
+            cheap metrics-only mode used by ``--metrics-out``.
+    """
+    obs = Observability(
+        protocol=machine.config.protocol, keep_events=keep_events
+    )
+    if sample_interval > 0:
+        obs.add_sampler(_system_sampler(machine, obs, sample_interval))
+    machine.sim.obs = obs
+    return obs
+
+
+def _system_sampler(machine, obs: Observability, interval: int):
+    sim = machine.sim
+    net = machine.network
+    gauges = {
+        "outstanding_refs": lambda: obs.outstanding,
+    }
+    for ctrl in machine.controllers:
+        engine = getattr(ctrl, "engine", None)
+        if engine is not None:
+            gauges[f"{ctrl.name}.active"] = (
+                lambda e=engine: e.n_active
+            )
+            gauges[f"{ctrl.name}.queued"] = (
+                lambda e=engine: e.n_queued
+            )
+        if hasattr(ctrl, "_mem_free_at"):
+            gauges[f"{ctrl.name}.mem_backlog"] = (
+                lambda c=ctrl: max(0, c._mem_free_at - sim.now)
+            )
+    rates = {
+        name: (lambda n=name: net.counters.get(n)) for name in _NET_RATES
+    }
+    return TimeSeriesSampler(
+        name="system",
+        interval=interval,
+        gauges=gauges,
+        rates=rates,
+        start=sim.now,
+    )
+
+
+def machine_metrics(machine, obs: Observability) -> Dict[str, Any]:
+    """Compact metrics dict for one run (the sweep-point payload)."""
+    obs.flush(machine.sim.now)
+    return {
+        "protocol": machine.config.protocol,
+        "n_processors": machine.config.n_processors,
+        "cycles": machine.sim.now,
+        "latency": {
+            outcome: hist.summary()
+            for outcome, hist in sorted(obs.latency.items())
+        },
+        "phases": {
+            key: hist.summary() for key, hist in sorted(obs.phases.items())
+        },
+        "counters": machine.registry.merged().snapshot(),
+    }
+
+
+def machine_metrics_records(
+    machine, obs: Observability
+) -> List[Dict[str, Any]]:
+    """JSONL records for one run (``run`` header + histograms + samples)."""
+    obs.flush(machine.sim.now)
+    return metrics_records(
+        obs,
+        run_info={
+            "n_processors": machine.config.n_processors,
+            "network": machine.config.network,
+            "cycles": machine.sim.now,
+            "refs": int(
+                sum(c.counters.get("refs") for c in machine.caches)
+            ),
+            "counters": machine.registry.merged().snapshot(),
+        },
+    )

@@ -1,0 +1,271 @@
+"""The probe/event hub: :class:`Observability`.
+
+One instance hangs off ``Simulator.obs`` when instrumentation is on;
+``Simulator.obs`` is ``None`` by default and every probe site guards
+with ``obs = self.sim.obs; if obs is not None: ...`` — the null-object
+fast path costs two attribute loads and a branch, nothing else, so the
+kernel's fast-path numbers are preserved (gated by
+``benchmarks/record_bench.py --gate``).
+
+Three telemetry streams share the hub:
+
+* **Events** (:class:`ObsEvent`) — point records for network sends,
+  broadcasts, and directory state transitions, fanned out to listeners
+  (e.g. :class:`~repro.sim.trace.MessageTracer`) and optionally
+  retained for the Chrome-trace exporter.
+* **Transaction spans** (:class:`TransactionSpan`) — one per memory
+  reference, from processor issue to retire, with phase marks added by
+  the protocol layers along the way.  Completed spans feed per-outcome
+  latency histograms and per-phase segment histograms.
+* **Samplers** (:class:`~repro.obs.sampler.TimeSeriesSampler`) — fixed
+  interval time-series windows, advanced *lazily* from probe activity
+  (never by posting kernel events, which would perturb determinism
+  goldens).
+
+Span phases map onto the §3.2 protocol flows::
+
+    issue      processor hands the reference to its cache
+    lookup     cache array access + §3.2 classification
+    directory  home controller dispatches REQUEST / MREQUEST
+    fanout     BROADINV / BROADQUERY (or selective) round launches
+    grant      GET / MGRANTED leaves the home controller
+    retire     the processor's callback runs
+
+A hit's span has no directory phases; a §3.2.5 conversion (MREQUEST
+denied, reissued as write miss) legitimately revisits ``directory``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.stats.histogram import Histogram
+
+#: Span phase names, in nominal §3.2 order.
+PHASES = ("issue", "lookup", "directory", "fanout", "grant", "retire")
+
+#: Reference outcomes (§3.2 instances + the two hit flavours).
+OUTCOMES = ("read-hit", "write-hit", "RM", "WM", "WH-unmod")
+
+
+class ObsEvent:
+    """One point event emitted by a probe site."""
+
+    __slots__ = ("name", "time", "track", "data")
+
+    def __init__(self, name: str, time: int, track: str, data: Dict[str, Any]):
+        self.name = name
+        self.time = time
+        self.track = track
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ObsEvent {self.name} t={self.time} {self.track}>"
+
+
+class TransactionSpan:
+    """The lifecycle of one memory reference (issue -> retire)."""
+
+    __slots__ = ("pid", "block", "op", "outcome", "start", "end", "marks")
+
+    def __init__(self, pid: int, block: int, op: str, start: int) -> None:
+        self.pid = pid
+        self.block = block
+        self.op = op  # "R" | "W"
+        self.outcome: Optional[str] = None
+        self.start = start
+        self.end: Optional[int] = None
+        #: ``(phase, time)`` marks between issue and retire.
+        self.marks: List[Tuple[str, int]] = []
+
+    @property
+    def latency(self) -> int:
+        assert self.end is not None
+        return self.end - self.start
+
+    def segments(self) -> List[Tuple[str, int, int]]:
+        """``(phase, t0, t1)`` slices partitioning the span.
+
+        Each segment is named after the mark that *closes* it: the
+        ``lookup`` segment is the time from issue until the cache array
+        classified the reference, and the terminal ``retire`` segment
+        runs from the last mark to completion.
+        """
+        assert self.end is not None
+        points = [("issue", self.start), *self.marks, ("retire", self.end)]
+        return [
+            (points[i + 1][0], points[i][1], points[i + 1][1])
+            for i in range(len(points) - 1)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Span P{self.pid} {self.op}{self.block} {self.outcome} "
+            f"t={self.start}->{self.end}>"
+        )
+
+
+Listener = Callable[[ObsEvent], None]
+
+
+class Observability:
+    """Event hub + span tracker + sampler host for one machine."""
+
+    def __init__(self, protocol: str = "", keep_events: bool = True) -> None:
+        self.protocol = protocol
+        #: Retain events/spans for export (off keeps only histograms
+        #: and sampler windows — the metrics-only mode).
+        self.keep_events = keep_events
+        self.events: List[ObsEvent] = []
+        self.spans: List[TransactionSpan] = []
+        self.samplers: List = []
+        #: outcome -> total-latency Histogram.
+        self.latency: Dict[str, Histogram] = {}
+        #: "outcome/phase" -> segment-latency Histogram.
+        self.phases: Dict[str, Histogram] = {}
+        self._active: Dict[int, TransactionSpan] = {}
+        self._listeners: List[Listener] = []
+
+    # ------------------------------------------------------------------
+    # Listeners
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def emit(
+        self, name: str, time: int, track: str, data: Dict[str, Any]
+    ) -> None:
+        """Record a point event and fan it out to listeners."""
+        event = ObsEvent(name, time, track, data)
+        if self.keep_events:
+            self.events.append(event)
+        for listener in self._listeners:
+            listener(event)
+        self.tick(time)
+
+    # Convenience wrappers so probe sites stay one-liners.
+    def on_send(self, message, now: int, delivery: int, track: str) -> None:
+        self.emit(
+            "send", now, track, {"message": message, "delivery": delivery}
+        )
+
+    def on_broadcast(
+        self, message, now: int, recipients: int, exclude, track: str
+    ) -> None:
+        self.emit(
+            "broadcast",
+            now,
+            track,
+            {"message": message, "recipients": recipients, "exclude": exclude},
+        )
+
+    def on_state(self, owner: str, now: int, block: int, old, new) -> None:
+        self.emit(
+            "state", now, owner, {"block": block, "old": old, "new": new}
+        )
+
+    # ------------------------------------------------------------------
+    # Transaction spans
+    # ------------------------------------------------------------------
+    def span_begin(self, pid: int, now: int, ref) -> None:
+        self._active[pid] = TransactionSpan(
+            pid=pid,
+            block=ref.block,
+            op="W" if ref.is_write else "R",
+            start=now,
+        )
+        self.tick(now)
+
+    def span_phase(self, pid: int, now: int, phase: str) -> None:
+        span = self._active.get(pid)
+        if span is not None:
+            span.marks.append((phase, now))
+        self.tick(now)
+
+    def span_outcome(self, pid: int, outcome: str) -> None:
+        span = self._active.get(pid)
+        if span is not None:
+            span.outcome = outcome
+
+    def span_end(self, pid: int, now: int, hit: bool) -> None:
+        span = self._active.pop(pid, None)
+        if span is None:
+            return
+        span.end = now
+        if span.outcome is None:
+            # Protocols without a classification probe derive the
+            # outcome from the completion result alone.
+            if hit:
+                span.outcome = "write-hit" if span.op == "W" else "read-hit"
+            else:
+                span.outcome = "WM" if span.op == "W" else "RM"
+        self._record_span(span)
+        self.tick(now)
+
+    def _record_span(self, span: TransactionSpan) -> None:
+        outcome = span.outcome
+        assert outcome is not None
+        hist = self.latency.get(outcome)
+        if hist is None:
+            hist = self.latency[outcome] = Histogram(
+                name=f"latency[{outcome}]"
+            )
+        hist.add(span.latency)
+        for phase, t0, t1 in span.segments():
+            key = f"{outcome}/{phase}"
+            phist = self.phases.get(key)
+            if phist is None:
+                phist = self.phases[key] = Histogram(name=f"phase[{key}]")
+            phist.add(t1 - t0)
+        if self.keep_events:
+            self.spans.append(span)
+
+    @property
+    def outstanding(self) -> int:
+        """Spans currently between issue and retire."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    # Samplers
+    # ------------------------------------------------------------------
+    def add_sampler(self, sampler) -> None:
+        self.samplers.append(sampler)
+
+    def tick(self, now: int) -> None:
+        """Give every sampler a chance to close elapsed windows.
+
+        Called from probe activity only — samplers never post kernel
+        events, so instrumented runs stay bit-identical to bare runs.
+        """
+        if self.samplers:
+            for sampler in self.samplers:
+                sampler.maybe_sample(now)
+
+    def flush(self, now: int) -> None:
+        """Close trailing sampler windows (call once, after the run)."""
+        for sampler in self.samplers:
+            sampler.flush(now)
+
+    # ------------------------------------------------------------------
+    # Measurement windows
+    # ------------------------------------------------------------------
+    def reset(self, now: int) -> None:
+        """Open a measurement window: drop telemetry gathered so far.
+
+        Mirrors :meth:`Machine.reset_measurement` so span/latency counts
+        stay consistent with the (reset) counter totals.
+        """
+        self.events.clear()
+        self.spans.clear()
+        self.latency.clear()
+        self.phases.clear()
+        self._active.clear()
+        for sampler in self.samplers:
+            sampler.reset(now)

@@ -1,0 +1,219 @@
+"""Exporters: Chrome trace-event JSON and JSONL metrics records.
+
+**Chrome trace** — the output of :func:`write_chrome_trace` loads
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+One simulated cycle maps to one microsecond.  Tracks (one per
+processor, one per home controller, one for the interconnect) are
+threads of a single process; transaction spans and their phase
+segments are complete ("X") events, broadcasts and directory state
+transitions are instants ("i"), and sampler windows become counter
+("C") series.
+
+**JSONL metrics** — :func:`metrics_records` yields one JSON-ready dict
+per line: a ``run`` header (config + merged counters), one ``latency``
+record per outcome histogram, one ``phase`` record per span segment
+histogram, and one ``sample`` record per sampler window.  The schema is
+documented in ``docs/observability.md``; ``runner.sweep`` points and
+``benchmarks/record_bench.py`` consume the same dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.obs.core import Observability
+
+#: All tracks live in one trace-event "process".
+_PID = 1
+
+
+def chrome_trace_events(obs: Observability) -> List[Dict[str, Any]]:
+    """Flatten ``obs`` into a Chrome trace-event list (ts in µs)."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+
+    def tid(track: str) -> int:
+        number = tids.get(track)
+        if number is None:
+            number = tids[track] = len(tids)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": _PID,
+                    "tid": number,
+                    "args": {"name": track},
+                }
+            )
+        return number
+
+    # Processor tracks first so tid order matches pid order.
+    for span in obs.spans:
+        tid(f"P{span.pid}")
+    for span in obs.spans:
+        track = tid(f"P{span.pid}")
+        label = f"{span.op}{span.block} {span.outcome}"
+        events.append(
+            {
+                "ph": "X",
+                "name": label,
+                "cat": "span",
+                "pid": _PID,
+                "tid": track,
+                "ts": span.start,
+                "dur": span.latency,
+                "args": {
+                    "block": span.block,
+                    "op": span.op,
+                    "outcome": span.outcome,
+                },
+            }
+        )
+        if span.marks:  # misses: nest the phase segments inside the span
+            for phase, t0, t1 in span.segments():
+                events.append(
+                    {
+                        "ph": "X",
+                        "name": phase,
+                        "cat": "phase",
+                        "pid": _PID,
+                        "tid": track,
+                        "ts": t0,
+                        "dur": t1 - t0,
+                        "args": {"outcome": span.outcome},
+                    }
+                )
+    for event in obs.events:
+        if event.name == "send":
+            message = event.data["message"]
+            delivery = event.data["delivery"]
+            events.append(
+                {
+                    "ph": "X",
+                    "name": message.kind.name,
+                    "cat": "message",
+                    "pid": _PID,
+                    "tid": tid(event.track),
+                    "ts": event.time,
+                    "dur": max(delivery - event.time, 0),
+                    "args": {
+                        "src": message.src,
+                        "dst": message.dst,
+                        "block": message.block,
+                    },
+                }
+            )
+        elif event.name == "broadcast":
+            message = event.data["message"]
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"{message.kind.name}*",
+                    "cat": "message",
+                    "pid": _PID,
+                    "tid": tid(event.track),
+                    "ts": event.time,
+                    "args": {
+                        "src": message.src,
+                        "block": message.block,
+                        "recipients": event.data["recipients"],
+                    },
+                }
+            )
+        elif event.name == "state":
+            data = event.data
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"b{data['block']}: {data['new'].name}",
+                    "cat": "directory",
+                    "pid": _PID,
+                    "tid": tid(event.track),
+                    "ts": event.time,
+                    "args": {
+                        "block": data["block"],
+                        "old": data["old"].name,
+                        "new": data["new"].name,
+                    },
+                }
+            )
+    for sampler in obs.samplers:
+        for window in sampler.windows:
+            for key, value in window.items():
+                if key in ("t0", "t1", "partial"):
+                    continue
+                events.append(
+                    {
+                        "ph": "C",
+                        "name": f"{sampler.name}.{key}",
+                        "pid": _PID,
+                        "ts": window["t0"],
+                        "args": {"value": value},
+                    }
+                )
+    return events
+
+
+def chrome_trace(obs: Observability) -> Dict[str, Any]:
+    """The full Chrome trace-event JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(obs),
+        "displayTimeUnit": "ms",
+        "otherData": {"protocol": obs.protocol, "clock": "1 cycle = 1 us"},
+    }
+
+
+def write_chrome_trace(path, obs: Observability) -> int:
+    """Write the Perfetto-loadable trace; returns the event count."""
+    trace = chrome_trace(obs)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    return len(trace["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# JSONL metrics
+# ----------------------------------------------------------------------
+def metrics_records(
+    obs: Observability, run_info: Optional[Dict[str, Any]] = None
+) -> List[Dict[str, Any]]:
+    """Flatten ``obs`` into JSONL-ready metric records (see module doc)."""
+    records: List[Dict[str, Any]] = [
+        {"record": "run", "protocol": obs.protocol, **(run_info or {})}
+    ]
+    for outcome in sorted(obs.latency):
+        records.append(
+            {
+                "record": "latency",
+                "outcome": outcome,
+                **obs.latency[outcome].summary(),
+            }
+        )
+    for key in sorted(obs.phases):
+        outcome, _, phase = key.partition("/")
+        records.append(
+            {
+                "record": "phase",
+                "outcome": outcome,
+                "phase": phase,
+                **obs.phases[key].summary(),
+            }
+        )
+    for sampler in obs.samplers:
+        for window in sampler.windows:
+            records.append(
+                {"record": "sample", "sampler": sampler.name, **window}
+            )
+    return records
+
+
+def write_jsonl(path, records: List[Dict[str, Any]]) -> int:
+    """Write one JSON object per line; returns the record count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)

@@ -82,10 +82,16 @@ class Processor(Component):
             self._stop()
             return
         self.issued += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_begin(self.pid, self.sim.now, ref)
         self._waiting = True
         self.cache.access(ref, self._completed)
 
     def _completed(self, result: AccessResult) -> None:
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_end(self.pid, self.sim.now, result.hit)
         self._waiting = False
         self.completed += 1
         latency = result.complete_time - result.issue_time

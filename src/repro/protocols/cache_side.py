@@ -110,6 +110,9 @@ class DirectoryCacheController(AbstractCacheController):
         self.sim.post_at(done, self._classify, ref, callback, issue_time)
 
     def _classify(self, ref: MemRef, callback: AccessCallback, issue_time: int) -> None:
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_phase(ref.pid, self.sim.now, "lookup")
         line = self.array.lookup(ref.block)
         if line is not None:
             self.array.touch(line)
@@ -123,10 +126,17 @@ class DirectoryCacheController(AbstractCacheController):
                 return
             # §3.2.4: write hit on previously unmodified block.
             self.counters.add("write_hits_unmodified")
+            if obs is not None:
+                # Sticks even if the MREQUEST is denied and converted to
+                # a write miss (§3.2.5), so span counts match the
+                # write_hits_unmodified counter exactly.
+                obs.span_outcome(ref.pid, "WH-unmod")
             self._write_hit_unmodified(line, ref, callback, issue_time)
             return
         # Miss: replacement (§3.2.1) then REQUEST (§3.2.2 / §3.2.3).
         self.counters.add("write_misses" if ref.is_write else "read_misses")
+        if obs is not None:
+            obs.span_outcome(ref.pid, "WM" if ref.is_write else "RM")
         self._evict_victim(ref.block)
         self.pending = PendingOp(
             ref=ref,

@@ -19,6 +19,7 @@ from repro.runner.sweep import (
     SweepError,
     SweepPoint,
     SweepReport,
+    WithMetrics,
     run_sweep,
 )
 
@@ -29,6 +30,7 @@ __all__ = [
     "SweepError",
     "SweepPoint",
     "SweepReport",
+    "WithMetrics",
     "code_version",
     "default_cache_dir",
     "derive_seed",

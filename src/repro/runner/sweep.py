@@ -51,6 +51,26 @@ class SweepPoint:
         return tuple(sorted(self.kwargs.items()))
 
 
+@dataclass(frozen=True)
+class WithMetrics:
+    """Return this from a point function to attach a telemetry payload.
+
+    The sweep unwraps it: :attr:`PointOutcome.result` is ``value`` and
+    :attr:`PointOutcome.metrics` is ``metrics`` (typically
+    :func:`repro.obs.machine_metrics`).  The wrapped pair is what gets
+    cached, so metrics survive cache hits.
+    """
+
+    value: Any
+    metrics: Dict[str, Any]
+
+
+def _unwrap(value: Any) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    if isinstance(value, WithMetrics):
+        return value.value, value.metrics
+    return value, None
+
+
 @dataclass
 class PointOutcome:
     """Result of one point, with provenance."""
@@ -60,6 +80,8 @@ class PointOutcome:
     cached: bool
     #: Wall-clock seconds until the result was available (0 on a hit).
     elapsed: float
+    #: Telemetry attached via :class:`WithMetrics`, or None.
+    metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -79,6 +101,15 @@ class SweepReport:
     @property
     def by_key(self) -> Dict[Hashable, Any]:
         return {o.point.label: o.result for o in self.outcomes}
+
+    @property
+    def metrics_by_key(self) -> Dict[Hashable, Dict[str, Any]]:
+        """Telemetry payloads for points that returned :class:`WithMetrics`."""
+        return {
+            o.point.label: o.metrics
+            for o in self.outcomes
+            if o.metrics is not None
+        }
 
     @property
     def cache_hits(self) -> int:
@@ -155,7 +186,10 @@ def run_sweep(
         if cache is not None:
             hit, value = cache.get(cache.key_for(point.fn, point.kwargs))
             if hit:
-                outcomes[i] = PointOutcome(point, value, cached=True, elapsed=0.0)
+                value, metrics = _unwrap(value)
+                outcomes[i] = PointOutcome(
+                    point, value, cached=True, elapsed=0.0, metrics=metrics
+                )
                 if verbose:
                     print(f"[sweep {label}] {point.label}: cached")
                 continue
@@ -222,6 +256,8 @@ def _record(
     verbose: bool,
 ) -> PointOutcome:
     if cache is not None:
+        # The wrapped WithMetrics pair (when present) is what's cached,
+        # so a later hit restores the telemetry too.
         cache.put(
             cache.key_for(point.fn, point.kwargs),
             value,
@@ -229,4 +265,7 @@ def _record(
         )
     if verbose:
         print(f"[sweep {label}] {point.label}: executed in {elapsed:.2f}s")
-    return PointOutcome(point, value, cached=False, elapsed=elapsed)
+    value, metrics = _unwrap(value)
+    return PointOutcome(
+        point, value, cached=False, elapsed=elapsed, metrics=metrics
+    )

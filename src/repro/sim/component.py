@@ -24,6 +24,16 @@ class Component:
         self.name = name
         self.counters = CounterSet(owner=name)
 
+    @property
+    def obs(self):
+        """The observability hub, or None when telemetry is off.
+
+        Probe sites should bind it once per call —
+        ``obs = self.sim.obs`` — and guard with ``if obs is not None``;
+        this property exists for cooler paths and interactive use.
+        """
+        return self.sim.obs
+
     def deliver(self, message: "Message") -> None:
         """Handle a message arriving from the interconnect.
 

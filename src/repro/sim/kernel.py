@@ -114,6 +114,11 @@ class Simulator:
     def __init__(self, tie_seed: Optional[int] = None) -> None:
         #: Current simulation time in cycles (read-only for components).
         self.now: int = 0
+        #: Observability hub (``repro.obs``), or None when telemetry is
+        #: off.  The kernel itself never reads it — probe sites in the
+        #: component layers guard on it — so the run loop stays on the
+        #: fast path either way.
+        self.obs = None
         self._seq: int = 0
         self._queue: List[_Entry] = []
         self._live: int = 0

@@ -9,14 +9,19 @@ reach for when a run misbehaves::
     machine.run(refs_per_proc=500)
     print(tracer.render(last=40))
 
-The tracer wraps ``network.send``/``broadcast`` and the two-bit
-directory's ``set_state`` non-invasively; :meth:`detach` restores them.
+The tracer is a listener on the ``repro.obs`` probe hub — the same
+event path the Chrome-trace exporter consumes.  If the machine is not
+already instrumented, :meth:`attach` installs a minimal hub
+(``keep_events=False``: nothing is retained beyond the tracer's own
+entries) and :meth:`detach` removes it again.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Optional, Set
+
+from repro.obs.core import ObsEvent, Observability
 
 
 @dataclass(frozen=True)
@@ -39,8 +44,10 @@ class MessageTracer:
         self.machine = machine
         self.blocks = set(blocks) if blocks is not None else None
         self.entries: List[TraceEntry] = []
-        self._originals = {}
         self._attached = False
+        #: True when attach() had to install the obs hub itself (and
+        #: detach() should therefore remove it).
+        self._installed_obs = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -54,67 +61,63 @@ class MessageTracer:
     def _attach(self) -> None:
         if self._attached:
             raise RuntimeError("tracer already attached")
-        net = self.machine.network
-        self._originals["send"] = net.send
-        self._originals["broadcast"] = getattr(net, "broadcast", None)
-
-        def send(message):
-            self._record("send", message.block, repr(message))
-            return self._originals["send"](message)
-
-        net.send = send
-        if self._originals["broadcast"] is not None:
-
-            def broadcast(message, exclude=None):
-                excluded = sorted(exclude or ())
-                self._record(
-                    "broadcast", message.block, f"{message!r} exclude={excluded}"
-                )
-                return self._originals["broadcast"](message, exclude)
-
-            net.broadcast = broadcast
-        self._wrap_directories()
+        sim = self.machine.sim
+        if sim.obs is None:
+            sim.obs = Observability(
+                protocol=getattr(self.machine.config, "protocol", ""),
+                keep_events=False,
+            )
+            self._installed_obs = True
+        sim.obs.add_listener(self._on_event)
         self._attached = True
 
-    def _wrap_directories(self) -> None:
-        for ctrl in self.machine.controllers:
-            directory = getattr(ctrl, "directory", None)
-            if directory is None or not hasattr(directory, "set_state"):
-                continue
-            original = directory.set_state
-            self._originals[f"set_state:{ctrl.name}"] = (directory, original)
-
-            def set_state(block, state, _orig=original, _name=ctrl.name):
-                self._record(
-                    "state", block, f"{_name}: block {block} -> {state.name}"
-                )
-                return _orig(block, state)
-
-            directory.set_state = set_state
-
     def detach(self) -> None:
-        """Restore the wrapped callables."""
+        """Stop capturing (and remove the hub if we installed it)."""
         if not self._attached:
             return
-        self.machine.network.send = self._originals["send"]
-        if self._originals.get("broadcast") is not None:
-            self.machine.network.broadcast = self._originals["broadcast"]
-        for key, value in self._originals.items():
-            if key.startswith("set_state:"):
-                directory, original = value
-                directory.set_state = original
+        sim = self.machine.sim
+        obs = sim.obs
+        if obs is not None:
+            obs.remove_listener(self._on_event)
+            if self._installed_obs and not obs._listeners:
+                sim.obs = None
+        self._installed_obs = False
         self._attached = False
 
     # ------------------------------------------------------------------
     # Capture & query
     # ------------------------------------------------------------------
-    def _record(self, kind: str, block: Optional[int], detail: str) -> None:
+    def _on_event(self, event: ObsEvent) -> None:
+        name = event.name
+        if name == "send":
+            message = event.data["message"]
+            self._record("send", message.block, repr(message), event.time)
+        elif name == "broadcast":
+            message = event.data["message"]
+            excluded = sorted(event.data["exclude"] or ())
+            self._record(
+                "broadcast",
+                message.block,
+                f"{message!r} exclude={excluded}",
+                event.time,
+            )
+        elif name == "state":
+            data = event.data
+            block = data["block"]
+            self._record(
+                "state",
+                block,
+                f"{event.track}: block {block} -> {data['new'].name}",
+                event.time,
+            )
+
+    def _record(
+        self, kind: str, block: Optional[int], detail: str, time: int
+    ) -> None:
         if self.blocks is not None and block not in self.blocks:
             return
         self.entries.append(
-            TraceEntry(
-                time=self.machine.sim.now, kind=kind, detail=detail, block=block
-            )
+            TraceEntry(time=time, kind=kind, detail=detail, block=block)
         )
 
     def __len__(self) -> int:

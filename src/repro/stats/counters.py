@@ -79,12 +79,44 @@ class CounterRegistry:
         """Per-owner values of ``name`` for sets that have it."""
         return {s.owner: s.get(name) for s in self._sets if name in s}
 
-    def aggregate(self) -> CounterSet:
-        """One merged CounterSet over all registered sets."""
+    def merged(self) -> CounterSet:
+        """One merged CounterSet over all registered sets.
+
+        The single aggregation entry point: everything that reports
+        whole-system totals (machine results, metrics export, the
+        ``compare`` CLI) goes through here.
+        """
         merged = CounterSet(owner="total")
         for s in self._sets:
             merged.merge(s)
         return merged
+
+    def aggregate(self) -> CounterSet:
+        """Alias of :meth:`merged` (the historical name)."""
+        return self.merged()
+
+    def report(self, per_owner: bool = False) -> str:
+        """Human-readable totals, one counter per line.
+
+        With ``per_owner`` each line also breaks the total down by the
+        owning component (owners without the counter are omitted).
+        """
+        totals = self.merged()
+        lines = [f"counter totals ({len(self._sets)} sets):"]
+        if not totals.names():
+            lines.append("  (no counters recorded)")
+            return "\n".join(lines)
+        width = max(len(name) for name in totals.names())
+        for name, value in totals.items():
+            line = f"  {name:<{width}} {value:>12g}"
+            if per_owner:
+                owners = self.by_owner(name)
+                detail = ", ".join(
+                    f"{owner}={val:g}" for owner, val in sorted(owners.items())
+                )
+                line += f"  [{detail}]"
+            lines.append(line)
+        return "\n".join(lines)
 
     def reset_all(self) -> None:
         """Open a measurement window: zero every registered set."""

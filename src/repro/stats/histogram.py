@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import math
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 
 class Histogram:
@@ -38,16 +39,25 @@ class Histogram:
         return max(self._counts) if self._counts else None
 
     def percentile(self, p: float) -> Optional[int]:
-        """Smallest value with at least ``p`` of the mass at or below it."""
+        """Nearest-rank percentile over the recorded samples.
+
+        Contract: returns ``None`` on an empty histogram; otherwise the
+        value of the sample at rank ``max(1, ceil(p * n))`` in sorted
+        order.  ``percentile(0.0)`` is :attr:`min` and
+        ``percentile(1.0)`` is :attr:`max` exactly — the rank is an
+        integer, so no float interpolation can place it off either end.
+        """
         if not 0.0 <= p <= 1.0:
             raise ValueError("p must be in [0, 1]")
         if not self._total:
             return None
-        needed = p * self._total
+        # The epsilon guards ceil() against float noise like 0.2 * 5
+        # landing a hair above the exact integer rank.
+        rank = max(1, math.ceil(p * self._total - 1e-9))
         running = 0
         for value in sorted(self._counts):
             running += self._counts[value]
-            if running >= needed:
+            if running >= rank:
                 return value
         return self.max
 
@@ -61,20 +71,48 @@ class Histogram:
         for value, count in other._counts.items():
             self.add(value, count)
 
-    def summary(self) -> str:
+    def summary(self) -> Dict[str, Union[int, float, None]]:
+        """Headline statistics as a dict (the latency reports' unit).
+
+        Keys: ``count``, ``mean``, ``min``, ``p50``, ``p95``, ``p99``,
+        ``max``.  On an empty histogram ``count`` is 0 and every other
+        value is ``None``.
+        """
         if not self._total:
-            return f"{self.name or 'histogram'}: empty"
+            return {
+                "count": 0,
+                "mean": None,
+                "min": None,
+                "p50": None,
+                "p95": None,
+                "p99": None,
+                "max": None,
+            }
+        return {
+            "count": self._total,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(0.5),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.max,
+        }
+
+    def summary_line(self) -> str:
+        """One-line human-readable form of :meth:`summary`."""
+        name = self.name or "histogram"
+        if not self._total:
+            return f"{name}: empty"
+        s = self.summary()
         return (
-            f"{self.name or 'histogram'}: n={self._total} "
-            f"mean={self.mean:.2f} min={self.min} "
-            f"p50={self.percentile(0.5)} p95={self.percentile(0.95)} "
-            f"p99={self.percentile(0.99)} max={self.max}"
+            f"{name}: n={s['count']} mean={s['mean']:.2f} min={s['min']} "
+            f"p50={s['p50']} p95={s['p95']} p99={s['p99']} max={s['max']}"
         )
 
     def render(self, width: int = 40, max_rows: int = 20) -> str:
         """ASCII bar chart (log-ish readable for skewed data)."""
         if not self._counts:
-            return self.summary()
+            return self.summary_line()
         items = self.items()
         if len(items) > max_rows:
             # Bucket into equal-width ranges.
@@ -90,7 +128,7 @@ class Histogram:
         else:
             label = str
         peak = max(count for _, count in items)
-        lines = [self.summary()]
+        lines = [self.summary_line()]
         for value, count in items:
             bar = "#" * max(1, round(width * count / peak))
             lines.append(f"  {label(value):>12} {count:>8} {bar}")

@@ -123,6 +123,10 @@ class Machine:
             directory = getattr(ctrl, "directory", None)
             if directory is not None and hasattr(directory, "reset_window"):
                 directory.reset_window()
+        if self.sim.obs is not None:
+            # Telemetry opens the same window: span/latency counts must
+            # stay consistent with the (reset) counter totals.
+            self.sim.obs.reset(self.sim.now)
 
     # ------------------------------------------------------------------
     # Results
@@ -153,7 +157,7 @@ class Machine:
         shared_hits = sum(p.counters.get("shared_hits") for p in self.processors)
         net_counters: CounterSet = self.network.counters  # type: ignore[attr-defined]
         traffic = net_counters.get("traffic_units")
-        totals = self.registry.aggregate().snapshot()
+        totals = self.registry.merged().snapshot()
         return SimulationResults(
             protocol=self.config.protocol,
             n_processors=self.config.n_processors,

@@ -35,10 +35,13 @@ full event trace, reproducible via ``repro check --replay``.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
+from repro.obs.attach import instrument_machine
+from repro.obs.export import chrome_trace_events
 from repro.protocols import registry
 from repro.verification.audit import audit_machine
 from repro.verification.oracle import CoherenceViolation
@@ -304,6 +307,27 @@ class Counterexample:
     detail: str
     schedule: List[int]
     trace: List[str]
+    #: Chrome trace events captured during the final (minimized) replay,
+    #: exportable with :meth:`write_chrome_trace`.
+    trace_events: List[dict] = field(default_factory=list)
+
+    def write_chrome_trace(self, path) -> int:
+        """Write the minimized replay as a Perfetto-loadable trace."""
+        trace = {
+            "traceEvents": self.trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "protocol": self.protocol,
+                "scenario": self.scenario,
+                "schedule": format_schedule(self.schedule),
+                "status": self.status,
+                "clock": "1 cycle = 1 us",
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=1)
+            handle.write("\n")
+        return len(self.trace_events)
 
     def render(self) -> str:
         lines = [
@@ -382,7 +406,7 @@ def explore(
         runs += 1
         max_decisions = max(max_decisions, len(outcome.decisions))
         if outcome.failed:
-            counter = _minimize(
+            counter, trace_events = _minimize(
                 fresh, scenario, outcome, max_steps=max_steps
             )
             return ModelCheckResult(
@@ -399,6 +423,7 @@ def explore(
                     detail=counter.detail,
                     schedule=counter.schedule,
                     trace=counter.trace,
+                    trace_events=trace_events,
                 ),
             )
         nxt = _next_prefix(outcome.decisions)
@@ -430,13 +455,15 @@ def _minimize(
     scenario: Scenario,
     outcome: RunOutcome,
     max_steps: int,
-) -> RunOutcome:
+) -> Tuple[RunOutcome, List[dict]]:
     """Shrink a failing schedule; returns a failing outcome with trace.
 
     Two greedy passes: (1) shortest failing prefix — replay ever-shorter
     prefixes with default extension and keep the first that still fails;
     (2) reset each remaining non-zero choice to the default order where
-    the failure survives.  Finally the trace is (re)collected.
+    the failure survives.  Finally the trace is (re)collected, with the
+    final replay instrumented so the counterexample carries Chrome trace
+    events alongside the textual trace.
     """
     best = list(outcome.schedule)
 
@@ -459,8 +486,10 @@ def _minimize(
             best = candidate
     while best and best[-1] == 0:
         best.pop()
+    machine = fresh()
+    obs = instrument_machine(machine, sample_interval=0, keep_events=True)
     final = replay_schedule(
-        fresh(),
+        machine,
         scenario,
         best,
         visited=None,
@@ -468,7 +497,7 @@ def _minimize(
         collect_trace=True,
     )
     assert final.failed, "minimized schedule no longer fails"
-    return final
+    return final, chrome_trace_events(obs)
 
 
 def check_protocol(

@@ -113,6 +113,8 @@ _SKIP_ATTRS = frozenset(
         "_deliver_fns",
         "_endpoints",
         "exhausted",
+        "obs",  # Simulator's observability hub (telemetry only)
+        "observer",  # TwoBitDirectory's transition probe callback
     }
 )
 

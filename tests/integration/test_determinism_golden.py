@@ -30,12 +30,16 @@ GOLDEN = {
 }
 
 
-def _run(seed):
+def _run(seed, instrument=False):
     workload = DuboisBriggsWorkload(
         n_processors=4, q=0.20, w=0.4, private_blocks_per_proc=32, seed=seed
     )
     config = MachineConfig(n_processors=4, n_modules=2, protocol="twobit")
     machine = build_machine(config, workload)
+    if instrument:
+        from repro.obs import instrument_machine
+
+        instrument_machine(machine)
     machine.run(refs_per_proc=300, warmup_refs=50)
     # The golden runs double as coherence regressions: a drift that keeps
     # the event count but corrupts protocol state must still fail here.
@@ -59,3 +63,11 @@ def test_repeated_runs_are_bit_identical():
     # Same process, fresh machines: no hidden global state leaks between
     # runs (the workload stream memo must replay, not re-draw).
     assert _run(1984) == _run(1984)
+
+
+@pytest.mark.parametrize("seed", sorted(GOLDEN))
+def test_instrumented_run_is_bit_identical_to_bare(seed):
+    # Full telemetry (spans, samplers, event retention) is observation
+    # only: the instrumented machine must execute the exact same event
+    # schedule and produce the exact same measurements.
+    assert _run(seed, instrument=True) == GOLDEN[seed]

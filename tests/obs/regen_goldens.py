@@ -1,0 +1,32 @@
+"""Regenerate the exporter golden files for tests/obs/test_export.py.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/obs/regen_goldens.py
+
+Only do this after an *intentional* exporter or probe-placement change,
+and explain the drift in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import chrome_trace, machine_metrics_records, write_jsonl
+
+from tests.obs.test_export import GOLDEN_DIR, golden_run
+
+
+def main() -> None:
+    machine, obs = golden_run()
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    trace = json.loads(json.dumps(chrome_trace(obs), sort_keys=True))
+    trace_path = GOLDEN_DIR / "trace.json"
+    trace_path.write_text(json.dumps(trace, indent=1, sort_keys=True) + "\n")
+    count = write_jsonl(
+        GOLDEN_DIR / "metrics.jsonl", machine_metrics_records(machine, obs)
+    )
+    print(f"wrote {len(trace['traceEvents'])} trace events, {count} records")
+
+
+if __name__ == "__main__":
+    main()

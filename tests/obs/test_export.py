@@ -1,0 +1,100 @@
+"""Exporter golden files: Chrome trace-event JSON and JSONL metrics.
+
+The goldens pin the full export of a tiny deterministic scripted run.
+If an *intentional* change to the exporters or the probe placement
+shifts them, regenerate with::
+
+    PYTHONPATH=src python tests/obs/regen_goldens.py
+"""
+
+import json
+from pathlib import Path
+
+from repro.obs import (
+    chrome_trace,
+    instrument_machine,
+    machine_metrics_records,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.workloads.reference import MemRef, Op
+
+from tests.conftest import scripted_machine
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def golden_run():
+    """The pinned scenario: 2 procs forcing RM, WM, WH-unmod, and hits."""
+    r = lambda pid, block: MemRef(pid=pid, op=Op.READ, block=block, shared=True)
+    w = lambda pid, block: MemRef(pid=pid, op=Op.WRITE, block=block, shared=True)
+    machine = scripted_machine(
+        [
+            [r(0, 0), w(0, 0), r(0, 1), r(0, 0)],
+            [r(1, 0), w(1, 1), r(1, 1)],
+        ]
+    )
+    obs = instrument_machine(machine, sample_interval=25)
+    machine.run(refs_per_proc=4)
+    obs.flush(machine.sim.now)
+    return machine, obs
+
+
+def _normalize(obj):
+    return json.loads(json.dumps(obj, sort_keys=True))
+
+
+def test_chrome_trace_matches_golden():
+    _, obs = golden_run()
+    expected = json.loads((GOLDEN_DIR / "trace.json").read_text())
+    assert _normalize(chrome_trace(obs)) == expected
+
+
+def test_metrics_records_match_golden():
+    machine, obs = golden_run()
+    records = machine_metrics_records(machine, obs)
+    expected = [
+        json.loads(line)
+        for line in (GOLDEN_DIR / "metrics.jsonl").read_text().splitlines()
+    ]
+    assert _normalize(records) == expected
+
+
+def test_writers_round_trip(tmp_path):
+    machine, obs = golden_run()
+    trace_path = tmp_path / "t.json"
+    count = write_chrome_trace(trace_path, obs)
+    loaded = json.loads(trace_path.read_text())
+    assert len(loaded["traceEvents"]) == count
+    assert loaded["otherData"]["protocol"] == "twobit"
+    jsonl_path = tmp_path / "m.jsonl"
+    records = machine_metrics_records(machine, obs)
+    assert write_jsonl(jsonl_path, records) == len(records)
+    lines = jsonl_path.read_text().splitlines()
+    assert len(lines) == len(records)
+    assert json.loads(lines[0])["record"] == "run"
+
+
+def test_trace_structure_invariants():
+    """Schema checks that hold for any run, golden or not."""
+    _, obs = golden_run()
+    events = chrome_trace(obs)["traceEvents"]
+    tracks = {
+        e["args"]["name"] for e in events if e["ph"] == "M"
+    }
+    assert {"P0", "P1"} <= tracks  # one track per processor
+    spans = [e for e in events if e.get("cat") == "span"]
+    assert spans and all(e["ph"] == "X" and e["dur"] >= 0 for e in spans)
+    # Phase segments nest within their span's [ts, ts+dur] envelope.
+    for e in events:
+        if e.get("cat") == "phase":
+            parents = [
+                s
+                for s in spans
+                if s["tid"] == e["tid"]
+                and s["ts"] <= e["ts"]
+                and e["ts"] + e["dur"] <= s["ts"] + s["dur"]
+            ]
+            assert parents, f"orphan phase segment {e}"
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters and all("value" in e["args"] for e in counters)

@@ -1,0 +1,89 @@
+"""Window boundary math, gauges/rates, flush, and reset."""
+
+import pytest
+
+from repro.obs import TimeSeriesSampler
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler("x", interval=0)
+
+
+def test_window_boundaries_close_lazily():
+    sampler = TimeSeriesSampler("t", interval=10)
+    sampler.maybe_sample(9)
+    assert sampler.windows == []  # boundary not reached
+    sampler.maybe_sample(10)
+    assert [(w["t0"], w["t1"]) for w in sampler.windows] == [(0, 10)]
+    # A large jump closes every elapsed boundary, not just one.
+    sampler.maybe_sample(35)
+    assert [(w["t0"], w["t1"]) for w in sampler.windows] == [
+        (0, 10), (10, 20), (20, 30),
+    ]
+    # Re-ticking the same cycle is a no-op.
+    sampler.maybe_sample(35)
+    assert len(sampler.windows) == 3
+
+
+def test_gauges_read_at_close_and_rates_delta():
+    state = {"depth": 0, "total": 0}
+    sampler = TimeSeriesSampler(
+        "q",
+        interval=5,
+        gauges={"depth": lambda: state["depth"]},
+        rates={"total": lambda: state["total"]},
+    )
+    state["depth"] = 3
+    state["total"] = 7
+    sampler.maybe_sample(5)
+    state["depth"] = 1
+    state["total"] = 9
+    sampler.maybe_sample(10)
+    first, second = sampler.windows
+    assert first["depth"] == 3 and first["total"] == 7
+    assert second["depth"] == 1 and second["total"] == 2  # delta, not total
+
+
+def test_flush_emits_partial_window_and_is_idempotent():
+    sampler = TimeSeriesSampler("t", interval=10)
+    sampler.maybe_sample(10)
+    sampler.flush(13)
+    assert [(w["t0"], w["t1"]) for w in sampler.windows] == [(0, 10), (10, 13)]
+    assert sampler.windows[-1]["partial"] is True
+    assert "partial" not in sampler.windows[0]
+    sampler.flush(13)  # idempotent for a fixed now
+    assert len(sampler.windows) == 2
+
+
+def test_flush_exactly_on_boundary_has_no_partial():
+    sampler = TimeSeriesSampler("t", interval=10)
+    sampler.flush(20)
+    assert [(w["t0"], w["t1"]) for w in sampler.windows] == [(0, 10), (10, 20)]
+    assert all("partial" not in w for w in sampler.windows)
+
+
+def test_nonzero_start_offsets_windows():
+    sampler = TimeSeriesSampler("t", interval=10, start=25)
+    sampler.maybe_sample(34)
+    assert sampler.windows == []
+    sampler.maybe_sample(45)
+    assert [(w["t0"], w["t1"]) for w in sampler.windows] == [(25, 35), (35, 45)]
+
+
+def test_reset_rebaselines_rates():
+    state = {"total": 0}
+    sampler = TimeSeriesSampler(
+        "t", interval=10, rates={"total": lambda: state["total"]}
+    )
+    state["total"] = 100
+    sampler.maybe_sample(10)
+    assert sampler.windows[0]["total"] == 100
+    state["total"] = 120
+    sampler.reset(50)
+    state["total"] = 125
+    sampler.maybe_sample(60)
+    # Only growth after the reset counts; pre-reset totals are dropped.
+    assert [(w["t0"], w["t1"], w["total"]) for w in sampler.windows] == [
+        (50, 60, 5)
+    ]

@@ -9,6 +9,7 @@ from repro.runner import (
     ResultCache,
     SweepError,
     SweepPoint,
+    WithMetrics,
     code_version,
     run_sweep,
 )
@@ -187,3 +188,35 @@ def test_failing_point_raises_sweep_error(tmp_path):
 def test_default_point_label_is_kwargs():
     point = SweepPoint(square, {"x": 2, "seed": 3})
     assert point.label == (("seed", 3), ("x", 2))
+
+
+# Module-level so the process pool can pickle it by reference.
+def square_with_metrics(x):
+    return WithMetrics(x * x, {"p50": x, "cycles": 10 * x})
+
+
+def test_point_metrics_are_split_from_values(tmp_path):
+    points = [
+        SweepPoint(square_with_metrics, {"x": x}, key=x) for x in (2, 3)
+    ]
+    report = run_sweep(points, cache_dir=tmp_path, label="t")
+    # .results carries bare values — existing consumers see no wrapper.
+    assert report.results == [4, 9]
+    assert report.by_key == {2: 4, 3: 9}
+    assert report.metrics_by_key == {
+        2: {"p50": 2, "cycles": 20},
+        3: {"p50": 3, "cycles": 30},
+    }
+
+    # Metrics ride through the cache with the value.
+    again = run_sweep(points, cache_dir=tmp_path, label="t")
+    assert again.cache_hits == 2
+    assert again.results == [4, 9]
+    assert again.metrics_by_key == report.metrics_by_key
+
+
+def test_metrics_absent_for_plain_points(tmp_path):
+    report = run_sweep(_points([4]), cache_dir=tmp_path, label="t")
+    (outcome,) = report.outcomes
+    assert outcome.metrics is None
+    assert report.metrics_by_key == {}

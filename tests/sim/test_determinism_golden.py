@@ -23,9 +23,18 @@ GOLDEN = {
 }
 
 
-def run_cascade(seed):
+def run_cascade(seed, with_obs=False):
     """Deterministic event storm mixing every scheduling API."""
     sim = Simulator()
+    if with_obs:
+        # The kernel must never consult the observability hub: an
+        # installed hub (with a live sampler) cannot perturb ordering.
+        from repro.obs import Observability, TimeSeriesSampler
+
+        sim.obs = Observability(protocol="cascade")
+        sim.obs.add_sampler(
+            TimeSeriesSampler("t", interval=3, gauges={"pending": lambda: 0})
+        )
     rng = random.Random(seed)
     log = []
     handles = []
@@ -57,3 +66,8 @@ def test_cascade_matches_golden():
 
 def test_cascade_repeatable_within_process():
     assert run_cascade(1984) == run_cascade(1984)
+
+
+def test_cascade_with_obs_installed_matches_golden():
+    for seed, expected in GOLDEN.items():
+        assert run_cascade(seed, with_obs=True) == expected, seed

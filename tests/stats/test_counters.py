@@ -88,3 +88,37 @@ def test_registry_aggregate_and_reset_all():
     assert registry.aggregate()["v"] == 5.0
     registry.reset_all()
     assert registry.total("v") == 0.0
+
+
+def test_registry_merged_is_canonical_aggregation():
+    registry = CounterRegistry()
+    a, b = CounterSet("a"), CounterSet("b")
+    registry.register(a)
+    registry.register(b)
+    a.add("v", 2)
+    b.add("v", 3)
+    b.add("w", 1)
+    merged = registry.merged()
+    assert merged["v"] == 5.0 and merged["w"] == 1.0
+    # aggregate() is an alias kept for back-compat.
+    assert registry.aggregate().snapshot() == merged.snapshot()
+
+
+def test_registry_report():
+    registry = CounterRegistry()
+    a, b = CounterSet("a"), CounterSet("b")
+    registry.register(a)
+    registry.register(b)
+    a.add("refs", 10)
+    b.add("refs", 20)
+    a.add("hits", 7)
+    text = registry.report()
+    assert "counter totals" in text
+    assert "refs" in text and "30" in text
+    assert "hits" in text and "7" in text
+    detailed = registry.report(per_owner=True)
+    assert "a=10" in detailed and "b=20" in detailed
+
+
+def test_registry_report_empty():
+    assert "(no counters recorded)" in CounterRegistry().report()

@@ -11,7 +11,12 @@ def test_empty():
     assert hist.mean == 0.0
     assert hist.min is None and hist.max is None
     assert hist.percentile(0.5) is None
-    assert "empty" in hist.summary()
+    assert "empty" in hist.summary_line()
+    summary = hist.summary()
+    assert summary["count"] == 0
+    assert all(
+        summary[key] is None for key in ("mean", "min", "p50", "p95", "p99", "max")
+    )
 
 
 def test_basic_statistics():
@@ -24,6 +29,42 @@ def test_basic_statistics():
     assert hist.percentile(0.5) == 2
     assert hist.percentile(1.0) == 10
     assert hist.percentile(0.0) == 1
+
+
+def test_percentile_nearest_rank_contract():
+    hist = Histogram()
+    for value in (10, 20, 30, 40):
+        hist.add(value)
+    # Nearest-rank: p selects the value at rank ceil(p * n).
+    assert hist.percentile(0.25) == 10
+    assert hist.percentile(0.26) == 20
+    assert hist.percentile(0.5) == 20
+    assert hist.percentile(0.75) == 30
+    assert hist.percentile(0.76) == 40
+    # Float p near a rank boundary must not skip a rank (1e-9 guard).
+    many = Histogram()
+    for value in range(1, 101):
+        many.add(value)
+    assert many.percentile(0.95) == 95
+    assert many.percentile(0.99) == 99
+
+
+def test_summary_dict():
+    hist = Histogram("lat")
+    for value in (1, 2, 2, 3, 10):
+        hist.add(value)
+    summary = hist.summary()
+    assert summary == {
+        "count": 5,
+        "mean": pytest.approx(3.6),
+        "min": 1,
+        "p50": 2,
+        "p95": 10,
+        "p99": 10,
+        "max": 10,
+    }
+    line = hist.summary_line()
+    assert "lat" in line and "p95" in line
 
 
 def test_weighted_add():

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main, make_parser
@@ -132,6 +134,80 @@ def test_check_replay_prints_trace(capsys):
 def test_check_unknown_scenario_exits(capsys):
     with pytest.raises(SystemExit, match="unknown scenario"):
         main(["check", "--protocol", "twobit", "--scenario", "nope"])
+
+
+def test_trace_writes_chrome_trace(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    code = main(
+        ["trace", "--protocol", "twobit", "-n", "2", "--refs", "200",
+         "--warmup", "50", "--out", str(out_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ui.perfetto.dev" in out
+    trace = json.loads(out_path.read_text())
+    names = {
+        e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"
+    }
+    assert {"P0", "P1"} <= names
+    assert any(e.get("cat") == "span" for e in trace["traceEvents"])
+    assert trace["otherData"]["protocol"] == "twobit"
+
+
+def test_run_metrics_out_jsonl(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.jsonl"
+    code = main(
+        ["run", "--protocol", "twobit", "-n", "2", "--refs", "300",
+         "--warmup", "100", "--metrics-out", str(metrics_path)]
+    )
+    assert code == 0
+    records = [
+        json.loads(line) for line in metrics_path.read_text().splitlines()
+    ]
+    by_kind = {}
+    for record in records:
+        by_kind.setdefault(record["record"], []).append(record)
+    (run,) = by_kind["run"]
+    assert run["protocol"] == "twobit" and run["refs"] == 2 * 300
+    outcomes = {r["outcome"] for r in by_kind["latency"]}
+    assert {"RM", "WM"} <= outcomes
+    for record in by_kind["latency"]:
+        assert record["count"] > 0 and record["p50"] is not None
+    # Histogram counts must agree with the run header's counters.
+    by_outcome = {r["outcome"]: r for r in by_kind["latency"]}
+    assert by_outcome["RM"]["count"] == run["counters"]["read_misses"]
+
+
+def test_compare_metrics_out_and_verbose_report(tmp_path, capsys):
+    from repro.protocols import registry
+
+    metrics_path = tmp_path / "metrics.jsonl"
+    code = main(
+        ["compare", "-n", "2", "--refs", "100", "--warmup", "20", "-v",
+         "--metrics-out", str(metrics_path)]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    records = [
+        json.loads(line) for line in metrics_path.read_text().splitlines()
+    ]
+    # One run header per compared protocol: appends, not overwrites.
+    runs = [r for r in records if r["record"] == "run"]
+    assert [r["protocol"] for r in runs] == list(registry.protocol_names())
+    assert "[twobit]" in out
+    assert "counter totals" in out
+
+
+def test_check_replay_trace_out(tmp_path, capsys):
+    out_path = tmp_path / "replay.json"
+    code = main(
+        ["check", "--protocol", "twobit", "--scenario", "smoke-2p1b",
+         "--replay", "0,1", "--differential", "0",
+         "--trace-out", str(out_path)]
+    )
+    assert code == 0
+    trace = json.loads(out_path.read_text())
+    assert trace["traceEvents"]
 
 
 def test_run_accepts_alias(capsys):

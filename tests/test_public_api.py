@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.core",
     "repro.interconnect",
     "repro.memory",
+    "repro.obs",
     "repro.processors",
     "repro.protocols",
     "repro.sim",

@@ -102,6 +102,25 @@ def test_injected_stale_read_is_caught():
     assert outcome.status == "violation"
 
 
+def test_counterexample_exports_replay_trace(tmp_path):
+    """The minimized schedule replays under instrumentation, so every
+    counterexample carries a Perfetto-loadable trace of the failure."""
+    import json
+
+    result = explore("twobit", DEEP_SCENARIOS[1], mutate=_stale_read_bug)
+    counter = result.counterexample
+    assert counter.trace_events, "minimized replay produced no trace"
+    names = {e["name"] for e in counter.trace_events if e.get("ph") == "M"}
+    assert "thread_name" in names
+    path = tmp_path / "counterexample.json"
+    counter.write_chrome_trace(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["traceEvents"] == counter.trace_events
+    other = loaded["otherData"]
+    assert other["status"] == "violation"
+    assert other["schedule"] == format_schedule(counter.schedule)
+
+
 def test_injected_dropped_invalidation_deadlocks():
     result = explore("twobit", SMOKE_SCENARIO, mutate=_dropped_invalidation_bug)
     counter = result.counterexample
