@@ -1,0 +1,128 @@
+"""Fault-injection matrix: recovery cost per protocol x canned plan.
+
+The :mod:`repro.faults` subsystem promises two things this bench pins
+down with numbers:
+
+* **Zero-cost when off** — a machine with the empty plan attached is
+  bit-identical to a bare run (same cycles, same counters);
+* **Graceful degradation when on** — under escalating canned plans the
+  NAK/retry path absorbs delays, duplicates, and stall windows with a
+  clean coherence audit, at a measurable (bounded) latency cost.
+
+Each cell is a :class:`~repro.runner.SweepPoint` whose kwargs include
+the frozen :class:`~repro.faults.FaultSpec` itself — fault grids ride
+the sweep result cache exactly like any other config axis.
+"""
+
+from typing import Optional
+
+from repro.config import MachineConfig
+from repro.faults import CANNED_PLANS, FAULT_PROTOCOLS, FaultSpec, attach_faults
+from repro.runner import SweepPoint
+from repro.stats.tables import Table
+from repro.system.builder import build_machine
+from repro.verification.audit import audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+from benchmarks.conftest import emit, run_bench_sweep
+
+N = 4
+REFS = 1500
+PLANS = ("none", "delay", "light", "heavy")
+
+#: Injection + recovery counters worth tabulating (registry totals).
+RECOVERY_COUNTERS = (
+    "delays_injected",
+    "duplicates_injected",
+    "stall_windows_opened",
+    "naks_sent",
+    "retries_scheduled",
+    "duplicate_commands_dropped",
+)
+
+
+def run(protocol: str, faults: Optional[FaultSpec], seed: int = 1984):
+    workload = DuboisBriggsWorkload(
+        n_processors=N, q=0.10, w=0.3, private_blocks_per_proc=64, seed=seed
+    )
+    config = MachineConfig(
+        n_processors=N,
+        n_modules=2,
+        n_blocks=workload.n_blocks,
+        protocol=protocol,
+        seed=seed,
+    )
+    machine = build_machine(config, workload)
+    attach_faults(machine, faults)
+    machine.run(refs_per_proc=REFS, warmup_refs=300)
+    audit_machine(machine).raise_if_failed()
+    results = machine.results()
+    return {
+        "cycles": results.cycles,
+        "avg_latency": results.avg_latency,
+        "miss_ratio": results.miss_ratio,
+        "counters": {
+            name: machine.registry.total(name) for name in RECOVERY_COUNTERS
+        },
+        "all_counters": machine.registry.merged().snapshot(),
+    }
+
+
+def sweep():
+    points = [
+        SweepPoint(
+            run,
+            {"protocol": protocol, "faults": CANNED_PLANS[plan], "seed": 1984},
+            key=(protocol, plan),
+        )
+        for protocol in FAULT_PROTOCOLS
+        for plan in PLANS
+    ]
+    # One bare (detached, not merely empty) point per protocol, to pin
+    # the attached-empty-plan == bare-run identity.
+    points += [
+        SweepPoint(
+            run,
+            {"protocol": protocol, "faults": None, "seed": 1984},
+            key=(protocol, "bare"),
+        )
+        for protocol in FAULT_PROTOCOLS
+    ]
+    report = run_bench_sweep(points, label="fault_matrix")
+    return report.by_key
+
+
+def test_fault_matrix(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        header=["protocol", "plan", "cycles", "latency", "naks", "retries",
+                "dups dropped"],
+        title=f"Fault-injection matrix (n={N}, {REFS} refs/proc)",
+        precision=4,
+    )
+    for protocol in FAULT_PROTOCOLS:
+        for plan in PLANS:
+            r = results[(protocol, plan)]
+            c = r["counters"]
+            table.add_row([
+                protocol, plan, r["cycles"], r["avg_latency"],
+                c["naks_sent"], c["retries_scheduled"],
+                c["duplicate_commands_dropped"],
+            ])
+    emit("fault_matrix.txt", table.render())
+
+    for protocol in FAULT_PROTOCOLS:
+        bare = results[(protocol, "bare")]
+        empty = results[(protocol, "none")]
+        # The empty plan must be invisible: identical cycle count and
+        # identical merged counters, not merely similar results.
+        assert empty["cycles"] == bare["cycles"], protocol
+        assert empty["all_counters"] == bare["all_counters"], protocol
+        # Escalating plans must actually inject (and recover from) faults.
+        heavy = results[(protocol, "heavy")]["counters"]
+        assert heavy["delays_injected"] > 0, protocol
+        assert heavy["stall_windows_opened"] > 0, protocol
+        assert heavy["naks_sent"] > 0, protocol
+        assert heavy["retries_scheduled"] > 0, protocol
+        # Delays cost cycles: the heavy plan cannot be faster than bare.
+        assert results[(protocol, "heavy")]["cycles"] >= bare["cycles"], protocol

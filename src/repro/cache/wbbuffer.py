@@ -4,12 +4,26 @@ When a cache ejects a modified block it keeps the data in this buffer until
 the home controller has consumed the write-back.  The buffer is what lets
 the protocol survive the EJECT-vs-BROADQUERY race (DESIGN.md ambiguity #2):
 a cache can still supply data for a block whose eject is in flight.
+
+A bounded buffer never crashes the machine: callers check :attr:`full`
+before evicting and apply backpressure (the cache controller's bounded
+retry path); :exc:`WriteBackBufferFull` only fires if a caller skips
+that check, and :exc:`MissingWriteBackEntry` names the protocol error a
+stray release/supersede implies instead of surfacing a bare ``KeyError``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Optional
+
+
+class WriteBackBufferFull(RuntimeError):
+    """Insert into a full buffer: the eviction should have been deferred."""
+
+
+class MissingWriteBackEntry(LookupError):
+    """No staged entry for the block: duplicate EJECT_ACK or lost eject."""
 
 
 @dataclass
@@ -45,7 +59,10 @@ class WriteBackBuffer:
         if block in self._entries:
             raise ValueError(f"block {block} already staged for write-back")
         if self.full:
-            raise OverflowError("write-back buffer full")
+            raise WriteBackBufferFull(
+                f"write-back buffer full ({self.capacity} entries); "
+                f"caller must defer the eviction of block {block}"
+            )
         entry = WriteBackEntry(block=block, version=version)
         self._entries[block] = entry
         return entry
@@ -55,13 +72,24 @@ class WriteBackBuffer:
 
     def supersede(self, block: int) -> WriteBackEntry:
         """Mark the staged data as transferred via a query response."""
-        entry = self._entries[block]
+        entry = self._entries.get(block)
+        if entry is None:
+            raise MissingWriteBackEntry(
+                f"block {block} is not staged for write-back; a query "
+                "response cannot supersede an eject that was never issued"
+            )
         entry.superseded = True
         return entry
 
     def release(self, block: int) -> WriteBackEntry:
         """Drop the entry once the controller has consumed the eject."""
-        return self._entries.pop(block)
+        entry = self._entries.pop(block, None)
+        if entry is None:
+            raise MissingWriteBackEntry(
+                f"block {block} is not staged for write-back; duplicate "
+                "EJECT_ACK, or the eject was already released"
+            )
+        return entry
 
     def blocks(self) -> list:
         """Blocks currently staged (sorted, for audits)."""

@@ -25,6 +25,7 @@ from repro.analysis.dubois_briggs import generate_table_4_2
 from repro.analysis.overhead_model import compare_table_4_1, generate_table_4_1
 from repro.analysis.thresholds import generate_threshold_table
 from repro.config import NETWORKS, MachineConfig, ProtocolOptions
+from repro.faults import CANNED_PLANS, FAULT_PROTOCOLS, attach_faults, parse_faults
 from repro.core.spec import render_spec
 from repro.protocols import registry
 from repro.stats.tables import Table
@@ -58,6 +59,28 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="translation buffer entries (0 = off)")
     parser.add_argument("--dup-dir", action="store_true",
                         help="enable the duplicate-directory enhancement")
+
+
+def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="inject deterministic faults: a canned plan "
+        f"({', '.join(sorted(CANNED_PLANS))}), key=value pairs "
+        "(e.g. 'seed=7,delay_prob=0.1,max_delay=3'), or a canned plan "
+        "with overrides ('check,seed=11'); only the protocols with a "
+        f"recovery path support this ({', '.join(FAULT_PROTOCOLS)})",
+    )
+
+
+def _parse_faults_arg(args: argparse.Namespace):
+    """``args.faults`` -> FaultSpec (or None), with argparse-style errors."""
+    text = getattr(args, "faults", None)
+    if not text:
+        return None
+    try:
+        return parse_faults(text)
+    except ValueError as exc:
+        raise SystemExit(f"--faults: {exc}")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -106,6 +129,14 @@ def _build_and_run(
         ),
     )
     machine = build_machine(config, workload)
+    spec = _parse_faults_arg(args)
+    if spec is not None:
+        if protocol not in FAULT_PROTOCOLS:
+            raise SystemExit(
+                f"--faults: {protocol} has no NAK/retry recovery path; "
+                f"choose from {', '.join(FAULT_PROTOCOLS)}"
+            )
+        attach_faults(machine, spec)
     obs = None
     if instrument or getattr(args, "metrics_out", None):
         obs = instrument_machine(
@@ -135,6 +166,19 @@ def cmd_run(args: argparse.Namespace) -> int:
     args.protocol = registry.canonical_name(args.protocol)
     machine, obs = _build_and_run(args.protocol, args)
     print(machine.results().summary())
+    if machine.faults is not None:
+        counts = machine.faults.counters.snapshot()
+        recovery = {
+            name: machine.registry.total(name)
+            for name in ("naks_sent", "retries_scheduled",
+                         "duplicate_commands_dropped",
+                         "wb_backpressure_stalls")
+            if machine.registry.total(name)
+        }
+        pairs = {**counts, **recovery}
+        print("fault injection: " + (", ".join(
+            f"{k}={v:g}" for k, v in sorted(pairs.items())
+        ) or "plan attached, nothing fired"))
     if obs is not None and args.metrics_out:
         _write_metrics(args.metrics_out, machine, obs)
         print(f"metrics written to {args.metrics_out}")
@@ -283,6 +327,22 @@ def cmd_check(args: argparse.Namespace) -> int:
         if args.protocol == "all"
         else [registry.canonical_name(args.protocol)]
     )
+    faults = _parse_faults_arg(args)
+    if faults is not None:
+        capable = [p for p in protocols if p in FAULT_PROTOCOLS]
+        skipped = [p for p in protocols if p not in FAULT_PROTOCOLS]
+        if not capable:
+            raise SystemExit(
+                f"--faults: {args.protocol} has no NAK/retry recovery "
+                f"path; choose from {', '.join(FAULT_PROTOCOLS)}"
+            )
+        if skipped:
+            print(
+                "--faults: skipping "
+                + ", ".join(skipped)
+                + " (no recovery path; atomic-transport protocols)"
+            )
+        protocols = capable
     scenarios = _check_scenarios(args)
 
     if args.replay is not None:
@@ -291,7 +351,9 @@ def cmd_check(args: argparse.Namespace) -> int:
                 "--replay needs exactly one --protocol and one --scenario"
             )
         scenario = scenarios[0]
-        machine = model_check.build_scenario_machine(protocols[0], scenario)
+        machine = model_check.build_scenario_machine(
+            protocols[0], scenario, faults=faults
+        )
         obs = None
         if args.trace_out:
             from repro.obs import instrument_machine
@@ -328,6 +390,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             scenarios=scenarios,
             max_schedules=args.max_schedules,
             max_steps=args.max_steps,
+            faults=faults,
         )
         for result in results:
             print(result.summary())
@@ -355,7 +418,9 @@ def cmd_check(args: argparse.Namespace) -> int:
         base = args.seed if args.seed is not None else 0
         for offset in range(args.differential):
             refs = differential.random_refs(base + offset)
-            report = differential.run_differential(refs, protocols=protocols)
+            report = differential.run_differential(
+                refs, protocols=protocols, faults=faults
+            )
             print(report.render() + f"  [seed {base + offset}]")
             if not report.ok:
                 failed = True
@@ -377,6 +442,7 @@ def make_parser() -> argparse.ArgumentParser:
                        help="also print the latency histogram and, for the "
                        "two-bit scheme, the global-state occupancy")
     _add_machine_args(p_run)
+    _add_faults_arg(p_run)
     _add_obs_args(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -387,6 +453,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--protocol", choices=PROTOCOL_CHOICES,
                          default="twobit")
     _add_machine_args(p_trace)
+    _add_faults_arg(p_trace)
     p_trace.add_argument("--out", required=True, metavar="PATH",
                          help="Chrome trace-event JSON output path "
                          "(load in https://ui.perfetto.dev)")
@@ -448,6 +515,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--trace-out", default=None, metavar="PATH",
                          help="export the first counterexample's minimized "
                          "replay (or the --replay run) as a Chrome trace")
+    _add_faults_arg(p_check)
     p_check.set_defaults(fn=cmd_check)
 
     return parser

@@ -76,6 +76,10 @@ class ProtocolOptions:
             scheme — a small buffer of recently-invalidated addresses
             that filters repeated invalidation signals for the same
             block without stealing a cache cycle (0 disables it).
+        wb_capacity: bound on concurrent dirty-eject write-back buffer
+            entries per cache (None = unbounded).  When the buffer is
+            full a new miss needing a dirty eviction is held back and
+            retried with backoff instead of overflowing.
     """
 
     serialization: str = "block"
@@ -87,6 +91,7 @@ class ProtocolOptions:
     translation_buffer_entries: int = 0
     tbuf_forced_hit_ratio: Optional[float] = None
     bias_filter_entries: int = 0
+    wb_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.serialization not in ("block", "global"):
@@ -99,6 +104,8 @@ class ProtocolOptions:
             0.0 <= self.tbuf_forced_hit_ratio <= 1.0
         ):
             raise ValueError("tbuf_forced_hit_ratio must be in [0, 1]")
+        if self.wb_capacity is not None and self.wb_capacity < 1:
+            raise ValueError("wb_capacity must be >= 1 (or None for unbounded)")
 
 
 #: Protocols the builder knows how to assemble.

@@ -48,6 +48,10 @@ class _Txn:
     selective: bool = False
     #: Owner pids a selective query/invalidation targeted.
     targets: Set[int] = field(default_factory=set)
+    #: Set when an MREQ_CANCEL caught this transaction *after* it left
+    #: the queue and became active (the §3.2.5 late race): dispatch and
+    #: the invalidation round must retire it without granting.
+    cancelled: bool = False
 
 
 class TwoBitDirectoryController(AbstractMemoryController):
@@ -94,6 +98,11 @@ class TwoBitDirectoryController(AbstractMemoryController):
         #: cycle as the final INV_ACK (possible under randomized event
         #: tie-breaking) still blocks the phantom grant.
         self._cancelled_mreqs: Dict[Tuple[str, int], int] = {}
+        #: (cache name, MREQUEST uid) pairs this controller scrubbed from
+        #: the queue during an invalidation round; the sender's
+        #: MREQ_CANCEL for them must be absorbed here, not parked as a
+        #: dispatch marker that nothing will ever consume.
+        self._scrubbed_mreqs: Set[Tuple[str, Optional[int]]] = set()
 
     # ==================================================================
     # Network interface
@@ -101,6 +110,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
     def deliver(self, message: Message) -> None:
         kind = message.kind
         if kind in (MessageKind.REQUEST, MessageKind.MREQUEST, MessageKind.EJECT):
+            if not self._fault_admit(message):
+                return
             self.counters.add(f"rx_{kind.name.lower()}")
             self.engine.submit(message)
         elif kind is MessageKind.PUT:
@@ -110,8 +121,12 @@ class TwoBitDirectoryController(AbstractMemoryController):
         elif kind is MessageKind.QUERY_NOCOPY:
             self._on_query_nocopy(message)
         elif kind is MessageKind.MREQ_CANCEL:
+            if not self._fault_dedupe(message, "txn"):
+                return
             self._on_mreq_cancel(message)
         elif kind is MessageKind.EJECT_REVOKE:
+            if not self._fault_dedupe(message, "ej"):
+                return
             self._revoked_ejects[(message.src, message.block)] = message.meta["ej"]
         else:
             raise ValueError(f"{self.name} cannot handle {message!r}")
@@ -137,17 +152,57 @@ class TwoBitDirectoryController(AbstractMemoryController):
             ),
         )
         self.counters.add("mrequests_cancelled", len(removed))
-        if not removed:
-            # The MREQUEST already left the queue (it became active in
-            # the same cycle): leave a marker the dispatch will honour.
-            self._cancelled_mreqs[(message.src, message.block)] = (
-                message.meta["txn"]
-            )
+        if removed:
+            return
+        uid = message.meta.get("txn")
+        scrub_key = (message.src, uid)
+        if scrub_key in self._scrubbed_mreqs:
+            # This controller already deleted the MREQUEST itself when it
+            # launched an invalidation round; the cancel is confirmation,
+            # not work.
+            self._scrubbed_mreqs.discard(scrub_key)
+            self.counters.add("mreq_cancels_for_scrubbed")
+            return
+        active = self._txns.get(message.block)
+        if (
+            active is not None
+            and active.msg.kind is MessageKind.MREQUEST
+            and active.msg.src == message.src
+            and active.msg.meta.get("txn") == uid
+        ):
+            # Late race: the MREQUEST left the queue and is the active
+            # transaction (possibly mid-invalidation-round).  Flag it so
+            # dispatch / round completion retire it without granting.
+            active.cancelled = True
+            self.counters.add("mrequests_cancelled_active")
+            return
+        # The MREQUEST transaction already finished (it was denied before
+        # the cancel landed) or was never admitted (NAKed under a fault
+        # plan): leave a marker; the sender's conversion REQUEST — which
+        # follows the cancel on the same FIFO path — sweeps it in _begin.
+        self._cancelled_mreqs[(message.src, message.block)] = uid
 
     # ==================================================================
     # Transaction dispatch
     # ==================================================================
     def _begin(self, message: Message) -> None:
+        key = (message.src, message.block)
+        if message.kind is not MessageKind.MREQUEST:
+            # A cancel marker that survived to see a *different* command
+            # from the same cache is stale: the cancelled MREQUEST is
+            # long gone and this is (at latest) the sender's conversion
+            # REQUEST, which FIFO guarantees follows the cancel.
+            if self._cancelled_mreqs.pop(key, None) is not None:
+                self.counters.add("stale_cancel_markers_dropped")
+        if message.kind is not MessageKind.EJECT and self.net.faults is None:
+            # Same sweep for revoke markers a late EJECT_REVOKE parked
+            # after its eject was already processed.  Under a fault plan
+            # the sweep must NOT run: a NAKed eject keeps retrying, so
+            # its revoke marker may legitimately outlive intervening
+            # commands from the same cache (e.g. a re-fetch REQUEST) —
+            # the retried EJECT itself consumes the marker.
+            if self._revoked_ejects.pop(key, None) is not None:
+                self.counters.add("stale_revoke_markers_dropped")
         txn = _Txn(msg=message)
         self._txns[message.block] = txn
         done = self.sim.now + self.config.timing.directory_access
@@ -191,6 +246,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
         state = self.directory.state(block)
         requester = self._requester(txn)
         if state is GlobalState.PRESENTM:
+            if self._absorb_self_eject(txn):
+                return
             # Case 2: retrieve from the (unknown) owning cache.
             txn.phase = "query"
             self._send_query(txn, rw="read")
@@ -220,6 +277,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
             )
             return
         if state is GlobalState.PRESENTM:
+            if self._absorb_self_eject(txn):
+                return
             # Case 3: purge the dirty owner, then grant.
             txn.phase = "query"
             self._send_query(txn, rw="write")
@@ -227,6 +286,42 @@ class TwoBitDirectoryController(AbstractMemoryController):
         # Case 2: invalidate all (unknown) copies, then grant.
         txn.phase = "inv"
         self._send_invalidations(txn)
+
+    def _absorb_self_eject(self, txn: _Txn) -> bool:
+        """True if the requester itself is the dirty owner (NAKed EJECT).
+
+        Only reachable under a fault plan: the requester's EJECT notice
+        was NAKed while this later REQUEST was admitted, inverting the
+        per-path command order.  Its write-back put — sent *before* the
+        REQUEST, so already delivered — sits parked in ``_eject_data``;
+        querying instead would hang, since the broadcast excludes the
+        requester and no other cache holds the block.  Absorb the
+        write-back, arrange for the still-retrying notice to be dropped
+        when it finally lands, and re-dispatch against current memory.
+        """
+        block = txn.msg.block
+        key = (txn.msg.src, block)
+        if key in self._superseded:
+            # The parked data was already outrun by a query answer: the
+            # dirty copy moved on to another cache, so the real owner
+            # must be queried normally.
+            return False
+        version = self._eject_data.pop(key, None)
+        if version is None:
+            return False
+        self.counters.add("self_requests_absorbed_eject")
+        self._superseded.add(key)
+        done = self._use_memory()
+        self.sim.post_at(done, self._absorb_and_redispatch, txn, version)
+        return True
+
+    def _absorb_and_redispatch(self, txn: _Txn, version: int) -> None:
+        block = txn.msg.block
+        self.module.write(block, version)
+        self.directory.set_state(block, GlobalState.ABSENT)
+        self.tbuf.establish(block, set())
+        self.counters.add("writebacks_absorbed")
+        self._dispatch(txn)
 
     # ==================================================================
     # §3.2.4 write hit on previously unmodified block
@@ -236,7 +331,9 @@ class TwoBitDirectoryController(AbstractMemoryController):
         state = self.directory.state(block)
         requester = self._requester(txn)
         marker = self._cancelled_mreqs.pop((txn.msg.src, block), None)
-        if marker is not None and marker == txn.msg.meta.get("txn"):
+        if txn.cancelled or (
+            marker is not None and marker == txn.msg.meta.get("txn")
+        ):
             # Withdrawn in flight: the sender already converted to a
             # write miss and holds no copy; granting would fabricate an
             # owner.  No reply — the sender expects none.
@@ -288,6 +385,15 @@ class TwoBitDirectoryController(AbstractMemoryController):
             return
         # Dirty eject: wait for the put(b_k, olda) data transfer.
         key = (txn.msg.src, block)
+        if key in self._superseded:
+            # The write-back was consumed out of band (query answer from
+            # the ejector's buffer, or a self-REQUEST absorbing a NAKed
+            # eject's parked put): there is no data to wait for.
+            self._superseded.discard(key)
+            self._eject_data.pop(key, None)
+            self.counters.add("eject_dropped_superseded")
+            self._ack_eject_and_finish(txn)
+            return
         if key in self._eject_data:
             self._consume_eject_data(txn, self._eject_data.pop(key))
         else:
@@ -382,6 +488,11 @@ class TwoBitDirectoryController(AbstractMemoryController):
             )
             if removed:
                 self.counters.add("mrequests_scrubbed", len(removed))
+                for m in removed:
+                    # Each scrubbed sender is about to be invalidated,
+                    # convert, and send MREQ_CANCEL for this uid; record
+                    # it so that cancel is absorbed instead of parked.
+                    self._scrubbed_mreqs.add((m.src, m.meta.get("txn")))
         targets = self._selective_targets(block, exclude=requester)
         if targets is not None:
             txn.selective = True
@@ -437,6 +548,15 @@ class TwoBitDirectoryController(AbstractMemoryController):
     def _invalidations_done(self, txn: _Txn) -> None:
         block = txn.msg.block
         requester = self._requester(txn)
+        if txn.msg.kind is MessageKind.MREQUEST and txn.cancelled:
+            # The requester withdrew mid-round; granting now would
+            # fabricate an owner that holds no copy.  The round's
+            # invalidations stand, so force the buffer back to
+            # "don't know" rather than asserting a phantom owner set.
+            self.tbuf.invalidate(block)
+            self.counters.add("mrequests_cancelled_mid_round")
+            self._finish(txn)
+            return
         self.tbuf.establish(block, {requester})
         if txn.msg.kind is MessageKind.MREQUEST:
             self._grant_modify(txn, granted=True)
@@ -490,6 +610,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
 
     def _on_put(self, message: Message) -> None:
         if message.meta.get("for") == "eject":
+            if not self._fault_dedupe(message, "ej"):
+                return
             key = (message.src, message.block)
             txn = self._txns.get(message.block)
             if (
@@ -507,6 +629,12 @@ class TwoBitDirectoryController(AbstractMemoryController):
         # Answer to an outstanding query.
         txn = self._txns.get(message.block)
         if txn is None or txn.phase != "query":
+            if self.net.faults is not None:
+                # Duplicated query answers are an injected fault, not a
+                # broken transport: absorb them (the first copy was
+                # consumed and retired the query).
+                self.counters.add("duplicate_query_data_dropped")
+                return
             raise RuntimeError(f"{self.name}: unexpected query data {message!r}")
         if message.meta.get("from_wb"):
             # The owner's own EJECT for this block is now stale.
@@ -599,6 +727,9 @@ class TwoBitDirectoryController(AbstractMemoryController):
             block=block,
             version=version,
             requester=requester,
+            # Echo the REQUEST uid so the cache can reject a duplicated
+            # grant from an earlier miss on the same block (faults only).
+            meta={"txn": txn.msg.meta.get("txn")},
         )
         self.counters.add("data_grants")
         self._finish(txn)
@@ -642,9 +773,15 @@ class TwoBitDirectoryController(AbstractMemoryController):
         )
 
     def quiescent(self) -> bool:
+        # _revoked_ejects is deliberately absent: a revoke that raced an
+        # already-processed eject legitimately parks a marker that only a
+        # later command from the same (cache, block) sweeps (see _begin);
+        # it is bounded by (caches x blocks) and value-inert.
         return (
             self.engine.idle
             and not self._txns
             and not self._eject_data
             and not self._superseded
+            and not self._cancelled_mreqs
+            and not self._scrubbed_mreqs
         )

@@ -69,7 +69,11 @@ class Bus(Network):
         for name in recipients:
             copy = message.copy_for(name)
             self._account(copy)
-            self.sim.post_at(end + self.latency, self._deliver_fns[name], copy)
+            delivery = end + self.latency
+            deliver = self._deliver_fns[name]
+            if self.faults is not None:
+                delivery = self.faults.on_deliver(self, copy, deliver, delivery)
+            self.sim.post_at(delivery, deliver, copy)
         return []
 
     @property

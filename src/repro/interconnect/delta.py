@@ -4,8 +4,8 @@ Figure 3-1 connects n processor-cache pairs to m controller-memory modules
 through a general interconnection network; a delta network built from
 ``radix x radix`` switches is the canonical scalable choice.  We model two
 unidirectional planes (forward: cache side -> memory side; reverse: memory
-side -> cache side).  Each switch output port is a serial resource: a
-message holds the port for ``size`` cycles per hop, so broadcasts — which
+side -> cache side).  Each switch output link is a serial resource: a
+message holds the link for ``size`` cycles per hop, so broadcasts — which
 in a delta network are n-1 separate messages — create real contention,
 reproducing the paper's caveat that "broadcasts do increase the
 probability of conflicts in the interconnection network".
@@ -31,7 +31,7 @@ def _stages_for(ports: int, radix: int) -> int:
 
 
 class DeltaNetwork(Network):
-    """Blocking multistage interconnect with per-port serialization."""
+    """Blocking multistage interconnect with per-link serialization."""
 
     def __init__(
         self,
@@ -47,12 +47,16 @@ class DeltaNetwork(Network):
         self.radix = radix
         self._ports: Dict[str, Tuple[str, int]] = {}  # name -> (side, port)
         self._side_counts = {"proc": 0, "mem": 0}
-        # (plane, stage, switch, outport) -> busy-until time
-        self._port_busy: Dict[Tuple[str, int, int, int], int] = {}
-        # (plane, dst_port) -> hop list; routes are static once the
-        # topology is built, so the per-message digit arithmetic is paid
-        # once per destination rather than once per hop per message.
-        self._route_cache: Dict[Tuple[str, int], List[Tuple[str, int, int, int]]] = {}
+        # (plane, stage, link) -> busy-until time
+        self._port_busy: Dict[Tuple[str, int, int], int] = {}
+        # (plane, src_port, dst_port) -> hop list; routes are static once
+        # the topology is built, so the per-message digit arithmetic is
+        # paid once per (source, destination) pair rather than per hop
+        # per message.
+        self._route_cache: Dict[
+            Tuple[str, int, int], List[Tuple[str, int, int]]
+        ] = {}
+        self._built_stages = self.n_stages
 
     # ------------------------------------------------------------------
     # Topology
@@ -68,6 +72,13 @@ class DeltaNetwork(Network):
         self._side_counts[side] += 1
         self._ports[component.name] = (side, port)
         self._route_cache.clear()  # stage count may change as ports attach
+        stages = self.n_stages
+        if stages != self._built_stages:
+            # The fabric grew a stage: every (plane, stage, link) key now
+            # names a different physical link, so stale busy-until
+            # entries would charge phantom contention.
+            self._built_stages = stages
+            self._port_busy.clear()
         return port
 
     def attach(self, component: Component, broadcast_member: bool = False) -> None:
@@ -81,28 +92,39 @@ class DeltaNetwork(Network):
     # ------------------------------------------------------------------
     # Routing & contention
     # ------------------------------------------------------------------
-    def _route(self, plane: str, dst_port: int) -> List[Tuple[str, int, int, int]]:
-        """Switch output ports traversed to reach ``dst_port``.
+    def _route(
+        self, plane: str, src_port: int, dst_port: int
+    ) -> List[Tuple[str, int, int]]:
+        """Switch output links traversed from ``src_port`` to ``dst_port``.
 
-        Destination-tag routing: at stage s the message exits through the
-        s-th radix-digit of the destination port (most significant first).
-        The switch index models how many distinct switches exist per stage.
+        Omega-style destination-tag routing, source-aware: after stage s
+        the message sits on the link whose label keeps the low
+        ``stages-1-s`` radix digits of the *source* and has absorbed the
+        high ``s+1`` digits of the *destination*.  Distinct sources
+        therefore only share links once their paths have actually merged
+        (at the final stage they all share the destination's output
+        link), instead of charging every source for every hop of every
+        other message to the same destination.
         """
         stages = self.n_stages
+        radix = self.radix
         hops = []
         for stage in range(stages):
-            shift = stages - stage - 1
-            digit = (dst_port // (self.radix**shift)) % self.radix
-            switch = dst_port // (self.radix ** (shift + 1))
-            hops.append((plane, stage, switch, digit))
+            rem = radix ** (stages - stage - 1)
+            link = (src_port % rem) * (radix ** (stage + 1)) + dst_port // rem
+            hops.append((plane, stage, link))
         return hops
 
-    def _traverse(self, plane: str, dst_port: int, size: int) -> int:
+    def _traverse(
+        self, plane: str, src_port: int, dst_port: int, size: int
+    ) -> int:
         """Walk the route reserving each hop; return arrival time."""
-        key = (plane, dst_port)
+        key = (plane, src_port, dst_port)
         route = self._route_cache.get(key)
         if route is None:
-            route = self._route_cache[key] = self._route(plane, dst_port)
+            route = self._route_cache[key] = self._route(
+                plane, src_port, dst_port
+            )
         time = self.sim.now
         port_busy = self._port_busy
         latency = self.latency
@@ -120,6 +142,8 @@ class DeltaNetwork(Network):
         return time
 
     def _delivery_time(self, message: Message) -> int:
-        side, port = self._ports[message.dst]  # type: ignore[index]
+        side, dst_port = self._ports[message.dst]  # type: ignore[index]
         plane = "fwd" if side == "mem" else "rev"
-        return self._traverse(plane, port, message.size)
+        src = self._ports.get(message.src)
+        src_port = src[1] if src is not None else 0
+        return self._traverse(plane, src_port, dst_port, message.size)

@@ -48,6 +48,7 @@ class MessageKind(Enum):
     EJECT_ACK = "EJECT_ACK"        # controller -> cache: write-back taken
     MREQ_CANCEL = "MREQ_CANCEL"    # cache -> controller: withdraw MREQUEST
     EJECT_REVOKE = "EJECT_REVOKE"  # cache -> controller: clean eject is stale
+    NAK = "NAK"                    # controller -> cache: resend later (stalled)
 
     # -- classical write-through scheme --------------------------------
     WT_WRITE = "WT_WRITE"        # write-through store to memory

@@ -31,6 +31,9 @@ class Network(Component):
         if latency < 0:
             raise ValueError("latency must be >= 0")
         self.latency = latency
+        #: Optional :class:`repro.faults.FaultInjector`; installed by
+        #: ``attach_faults``.  ``None`` keeps the send path untouched.
+        self.faults = None
         self._endpoints: Dict[str, Component] = {}
         self._broadcast_group: List[str] = []
         #: Bound ``deliver`` methods, cached at attach time — the send hot
@@ -78,6 +81,8 @@ class Network(Component):
             ) from None
         self._account(message)
         delivery = self._delivery_time(message)
+        if self.faults is not None:
+            delivery = self.faults.on_deliver(self, message, deliver, delivery)
         obs = self.sim.obs
         if obs is not None:
             obs.on_send(message, self.sim.now, delivery, track=self.name)
@@ -108,7 +113,10 @@ class Network(Component):
             copy = message.copy_for(name)
             self._account(copy)
             delivery = self._delivery_time(copy)
-            self.sim.post_at(delivery, self._deliver_fns[name], copy)
+            deliver = self._deliver_fns[name]
+            if self.faults is not None:
+                delivery = self.faults.on_deliver(self, copy, deliver, delivery)
+            self.sim.post_at(delivery, deliver, copy)
         return len(recipients)
 
     # ------------------------------------------------------------------

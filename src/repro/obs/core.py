@@ -41,8 +41,9 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.stats.histogram import Histogram
 
-#: Span phase names, in nominal §3.2 order.
-PHASES = ("issue", "lookup", "directory", "fanout", "grant", "retire")
+#: Span phase names, in nominal §3.2 order ("retry" marks NAK/
+#: backpressure recovery under a fault plan and may repeat).
+PHASES = ("issue", "lookup", "directory", "fanout", "grant", "retry", "retire")
 
 #: Reference outcomes (§3.2 instances + the two hit flavours).
 OUTCOMES = ("read-hit", "write-hit", "RM", "WM", "WH-unmod")

@@ -29,13 +29,15 @@ from typing import Callable, List, Optional
 from repro.cache.array import CacheArray
 from repro.cache.line import CacheLine, LocalState
 from repro.cache.replacement import make_policy
-from repro.cache.wbbuffer import WriteBackBuffer
+from repro.cache.wbbuffer import MissingWriteBackEntry, WriteBackBuffer
+from repro.faults.plan import DEFAULT_MAX_RETRIES, DEFAULT_RETRY_BACKOFF
 from repro.interconnect.message import Message, MessageKind
 from repro.interconnect.network import Network
 from repro.protocols.base import (
     AbstractCacheController,
     AccessCallback,
     AccessResult,
+    ProtocolError,
 )
 from repro.sim.kernel import Simulator
 from repro.config import MachineConfig
@@ -63,6 +65,11 @@ class PendingOp:
     #: Queries that arrived between our GET and the fill completing; they
     #: target the copy we are about to install and are answered after it.
     deferred: List[Message] = field(default_factory=list)
+    #: NAK recovery: how often this op has been resent, and whether a
+    #: resend is already scheduled (a duplicated NAK must not fork the
+    #: transaction into two concurrent resends).
+    retries: int = 0
+    retry_scheduled: bool = False
 
 
 class DirectoryCacheController(AbstractCacheController):
@@ -86,13 +93,21 @@ class DirectoryCacheController(AbstractCacheController):
             associativity=config.cache_assoc,
             policy=make_policy(config.replacement, seed=config.seed + pid),
         )
-        self.wb_buffer = WriteBackBuffer()
+        self.wb_buffer = WriteBackBuffer(capacity=config.options.wb_capacity)
         self.pending: Optional[PendingOp] = None
         self._op_in_progress = False
         #: Clean ejects awaiting EJECT_ACK, block -> eject uid.  Needed to
         #: revoke an eject notice made stale by a crossing invalidation
         #: (DESIGN.md ambiguity #7).
         self._inflight_clean_ejects: dict = {}
+        #: Dirty ejects awaiting EJECT_ACK, block -> eject uid; lets a NAK
+        #: name the eject it refused and a retry resend just the notice
+        #: (the data transfer already arrived and is parked at the home).
+        self._dirty_eject_uids: dict = {}
+        #: (block, eject uid) -> resend count under NAK recovery.
+        self._eject_retries: dict = {}
+        #: (block, eject uid) pairs with a resend already scheduled.
+        self._eject_retry_scheduled: set = set()
 
     # ==================================================================
     # Processor interface
@@ -137,7 +152,58 @@ class DirectoryCacheController(AbstractCacheController):
         self.counters.add("write_misses" if ref.is_write else "read_misses")
         if obs is not None:
             obs.span_outcome(ref.pid, "WM" if ref.is_write else "RM")
-        self._evict_victim(ref.block)
+        self._begin_miss(ref, callback, issue_time, 0)
+
+    def _begin_miss(
+        self,
+        ref: MemRef,
+        callback: AccessCallback,
+        issue_time: int,
+        attempt: int,
+    ) -> None:
+        """Evict the victim and issue the REQUEST — unless the eviction
+        needs a write-back slot and the buffer is full, in which case the
+        miss backs off and retries (structured backpressure; the buffer
+        drains as EJECT_ACKs arrive)."""
+        if self.net.faults is not None and (
+            ref.block in self._dirty_eject_uids
+            or ref.block in self._inflight_clean_ejects
+        ):
+            # Our own EJECT of this very block is still bouncing on
+            # NAKs.  Re-requesting now inverts admission order at the
+            # home: the REQUEST gets served, then the late EJECT lands
+            # and destroys the fresh grant's directory state (clean
+            # case) or absorbs a stale write-back over it (dirty case).
+            # Hold the miss until the eject is acked; the eject's own
+            # give-up bound caps how long that can take.
+            if attempt >= 4 * self._max_retries():
+                raise ProtocolError(
+                    f"{self.name}: miss on block {ref.block} stalled "
+                    f"behind its own in-flight eject after {attempt} "
+                    "backoff attempts"
+                )
+            self.counters.add("self_eject_miss_stalls")
+            self._note_retry(ref.pid)
+            self.sim.post(
+                self._backoff_delay(attempt + 1),
+                self._begin_miss, ref, callback, issue_time, attempt + 1,
+            )
+            return
+        frame = self.array.frame_for(ref.block)
+        if frame.valid and frame.modified and self.wb_buffer.full:
+            if attempt >= self._max_retries():
+                raise ProtocolError(
+                    f"{self.name}: write-back buffer still full after "
+                    f"{attempt} backoff attempts (miss on block {ref.block})"
+                )
+            self.counters.add("wb_backpressure_stalls")
+            self._note_retry(ref.pid)
+            self.sim.post(
+                self._backoff_delay(attempt + 1),
+                self._begin_miss, ref, callback, issue_time, attempt + 1,
+            )
+            return
+        self._evict_frame(frame)
         self.pending = PendingOp(
             ref=ref,
             callback=callback,
@@ -182,7 +248,12 @@ class DirectoryCacheController(AbstractCacheController):
     def _evict_victim(self, incoming_block: int) -> None:
         """§3.2.1 replacement protocol for the frame ``incoming_block``
         will occupy."""
-        frame = self.array.frame_for(incoming_block)
+        self._evict_frame(self.array.frame_for(incoming_block))
+
+    def _evict_frame(self, frame: CacheLine) -> None:
+        # Split from _evict_victim so the backpressured miss path can
+        # consult the frame without re-running the replacement policy
+        # (a second policy draw would perturb seeded victim selection).
         if not frame.valid:
             return  # case 1: valid bit off, nothing to do
         victim = frame.block
@@ -192,15 +263,21 @@ class DirectoryCacheController(AbstractCacheController):
             # case 3: EJECT(k, olda, "write") followed by put(b_k, olda).
             self.counters.add("ejects_dirty")
             self.wb_buffer.insert(victim, frame.version)
+            uid = next(_op_uids)
+            self._dirty_eject_uids[victim] = uid
             self._send(
-                MessageKind.EJECT, dst=home, block=victim, rw="write"
+                MessageKind.EJECT,
+                dst=home,
+                block=victim,
+                rw="write",
+                meta={"ej": uid},
             )
             self._send(
                 MessageKind.PUT,
                 dst=home,
                 block=victim,
                 version=frame.version,
-                meta={"for": "eject"},
+                meta={"for": "eject", "ej": uid},
             )
         else:
             # case 2: EJECT(k, olda, "read"); keeping Present1 accurate.
@@ -279,25 +356,63 @@ class DirectoryCacheController(AbstractCacheController):
         elif kind in (MessageKind.BROADQUERY, MessageKind.PURGE):
             self._on_query(message)
         elif kind is MessageKind.EJECT_ACK:
-            if "ej" in message.meta:
-                uid = self._inflight_clean_ejects.get(message.block)
-                if uid == message.meta["ej"]:
-                    del self._inflight_clean_ejects[message.block]
-            else:
-                self.wb_buffer.release(message.block)
+            self._on_eject_ack(message)
+        elif kind is MessageKind.NAK:
+            self._on_nak(message)
         else:
             raise ValueError(f"{self.name} cannot handle {message!r}")
+
+    def _on_eject_ack(self, message: Message) -> None:
+        block = message.block
+        if "ej" in message.meta:
+            ej = message.meta["ej"]
+            if self._inflight_clean_ejects.get(block) == ej:
+                del self._inflight_clean_ejects[block]
+            # Retire the acked generation's retry budget even when a
+            # newer eject of the same block has replaced the in-flight
+            # entry: the ack is the last word on that uid, and a NAKed
+            # generation's counter would otherwise leak past quiescence.
+            self._forget_eject_retry(block, ej)
+            return
+        uid = self._dirty_eject_uids.pop(block, None)
+        if uid is not None:
+            self._forget_eject_retry(block, uid)
+        if block not in self.wb_buffer and self.net.faults is not None:
+            # A duplicated ack for an eject already released: absorb it.
+            self.counters.add("duplicate_eject_acks_dropped")
+            return
+        self.wb_buffer.release(block)
 
     # ------------------------------------------------------------------
     # Miss data arrival
     # ------------------------------------------------------------------
     def _on_get(self, message: Message) -> None:
         pending = self.pending
+        txn = message.meta.get("txn")
         if (
             pending is None
             or pending.phase != "miss"
             or pending.ref.block != message.block
+            # The fill occupies the array for a few cycles before
+            # ``_fill_and_complete`` clears ``pending``; a duplicate of
+            # the *same* GET landing inside that window would otherwise
+            # pass every guard and complete the access twice.
+            or pending.data_received
+            # Under a fault plan a duplicated GET from an *earlier* miss
+            # on the same block could masquerade as this miss's fill;
+            # the grant echoes the REQUEST uid so it can't.
+            or (
+                self.net.faults is not None
+                and txn is not None
+                and txn != pending.uid
+            )
         ):
+            if self.net.faults is not None:
+                # A duplicated GET for a miss already filled: absorb it
+                # (the injected copy carries the same data the consumed
+                # original did).
+                self.counters.add("duplicate_gets_dropped")
+                return
             raise RuntimeError(
                 f"{self.name}: unexpected data arrival {message!r}"
             )
@@ -353,6 +468,143 @@ class DirectoryCacheController(AbstractCacheController):
             self._on_query(message)
 
     # ------------------------------------------------------------------
+    # NAK recovery (fault plans only): bounded retry with backoff
+    # ------------------------------------------------------------------
+    def _fault_spec(self):
+        faults = self.net.faults
+        return None if faults is None else faults.spec
+
+    def _max_retries(self) -> int:
+        spec = self._fault_spec()
+        return spec.max_retries if spec is not None else DEFAULT_MAX_RETRIES
+
+    def _backoff_delay(self, attempt: int) -> int:
+        spec = self._fault_spec()
+        base = spec.retry_backoff if spec is not None else DEFAULT_RETRY_BACKOFF
+        return base << min(attempt - 1, 4)
+
+    def _note_retry(self, pid: int) -> None:
+        self.counters.add("retries_scheduled")
+        obs = self.sim.obs
+        if obs is not None:
+            obs.span_phase(pid, self.sim.now, "retry")
+
+    def _forget_eject_retry(self, block: int, uid: int) -> None:
+        self._eject_retries.pop((block, uid), None)
+        self._eject_retry_scheduled.discard((block, uid))
+
+    def _on_nak(self, message: Message) -> None:
+        kind = message.meta.get("kind")
+        block = message.block
+        if kind in ("REQUEST", "MREQUEST"):
+            pending = self.pending
+            expected = "miss" if kind == "REQUEST" else "mreq"
+            if (
+                pending is None
+                or pending.phase != expected
+                or pending.ref.block != block
+                or message.meta.get("txn") != pending.uid
+            ):
+                # The op converted or completed while the NAK flew.
+                self.counters.add("stale_naks")
+                return
+            if pending.retry_scheduled:
+                self.counters.add("duplicate_naks_dropped")
+                return
+            if pending.retries >= self._max_retries():
+                raise ProtocolError(
+                    f"{self.name}: {kind} for block {block} NAKed "
+                    f"{pending.retries + 1} times; giving up"
+                )
+            pending.retries += 1
+            pending.retry_scheduled = True
+            self._note_retry(pending.ref.pid)
+            self.sim.post(
+                self._backoff_delay(pending.retries),
+                self._retry_pending, kind, block, pending.uid,
+            )
+        elif kind == "EJECT":
+            uid = message.meta.get("ej")
+            key = (block, uid)
+            if (
+                self._dirty_eject_uids.get(block) != uid
+                and self._inflight_clean_ejects.get(block) != uid
+            ):
+                self.counters.add("stale_naks")
+                return
+            if key in self._eject_retry_scheduled:
+                self.counters.add("duplicate_naks_dropped")
+                return
+            attempts = self._eject_retries.get(key, 0)
+            if attempts >= self._max_retries():
+                raise ProtocolError(
+                    f"{self.name}: EJECT for block {block} NAKed "
+                    f"{attempts + 1} times; giving up"
+                )
+            self._eject_retries[key] = attempts + 1
+            self._eject_retry_scheduled.add(key)
+            self._note_retry(self.pid)
+            self.sim.post(
+                self._backoff_delay(attempts + 1), self._retry_eject, block, uid
+            )
+        else:
+            self.counters.add("stale_naks")
+
+    def _retry_pending(self, kind: str, block: int, uid: int) -> None:
+        pending = self.pending
+        expected = "miss" if kind == "REQUEST" else "mreq"
+        if (
+            pending is None
+            or pending.phase != expected
+            or pending.ref.block != block
+            or pending.uid != uid
+        ):
+            # Converted (BROADINV turned the MREQUEST into a write miss)
+            # or otherwise superseded while the backoff ran.
+            self.counters.add("retries_abandoned")
+            return
+        pending.retry_scheduled = False
+        self.counters.add("retries_sent")
+        if kind == "REQUEST":
+            self._send(
+                MessageKind.REQUEST,
+                dst=self.home_fn(block),
+                block=block,
+                rw="write" if pending.ref.is_write else "read",
+                meta={"txn": uid},
+            )
+        else:
+            self._send(
+                MessageKind.MREQUEST,
+                dst=self.home_fn(block),
+                block=block,
+                meta={"txn": uid},
+            )
+
+    def _retry_eject(self, block: int, uid: int) -> None:
+        key = (block, uid)
+        self._eject_retry_scheduled.discard(key)
+        if self._dirty_eject_uids.get(block) == uid:
+            rw = "write"
+        elif self._inflight_clean_ejects.get(block) == uid:
+            rw = "read"
+        else:
+            # Acked while the backoff ran (the NAKed original was
+            # admitted after the stall window closed).
+            self.counters.add("retries_abandoned")
+            return
+        self.counters.add("retries_sent")
+        # Resend only the notice: for a dirty eject the put(b_k, olda)
+        # data transfer was never NAKed and is parked at the home.
+        self._send(
+            MessageKind.EJECT,
+            dst=self.home_fn(block),
+            block=block,
+            rw=rw,
+            meta={"ej": uid},
+        )
+
+    # ------------------------------------------------------------------
     # Modification grants
     # ------------------------------------------------------------------
     def _on_mgranted(self, message: Message) -> None:
@@ -404,6 +656,12 @@ class DirectoryCacheController(AbstractCacheController):
             )
         pending.phase = "miss"
         pending.uid = next(_op_uids)
+        # Fresh command, fresh retry budget: a NAK against the new
+        # REQUEST must not be mistaken for a duplicate of one answered
+        # while we were still an MREQUEST (the scheduled retry, if any,
+        # drops itself on the uid mismatch).
+        pending.retries = 0
+        pending.retry_scheduled = False
         self._send(
             MessageKind.REQUEST,
             dst=self.home_fn(pending.ref.block),
@@ -584,4 +842,6 @@ class DirectoryCacheController(AbstractCacheController):
             self.pending is None
             and len(self.wb_buffer) == 0
             and not self._inflight_clean_ejects
+            and not self._dirty_eject_uids
+            and not self._eject_retries
         )

@@ -111,6 +111,8 @@ class FullMapDirectoryController(AbstractMemoryController):
     def deliver(self, message: Message) -> None:
         kind = message.kind
         if kind in (MessageKind.REQUEST, MessageKind.MREQUEST, MessageKind.EJECT):
+            if not self._fault_admit(message):
+                return
             self.counters.add(f"rx_{kind.name.lower()}")
             self.engine.submit(message)
         elif kind is MessageKind.PUT:
@@ -120,6 +122,8 @@ class FullMapDirectoryController(AbstractMemoryController):
         elif kind is MessageKind.QUERY_NOCOPY:
             self._on_query_nocopy(message)
         elif kind is MessageKind.MREQ_CANCEL:
+            if not self._fault_dedupe(message, "txn"):
+                return
             # The full map would deny the stale MREQUEST anyway (the
             # sender is no longer in the owner set); scrubbing it just
             # saves the round trip.
@@ -387,6 +391,8 @@ class FullMapDirectoryController(AbstractMemoryController):
     # ==================================================================
     def _on_put(self, message: Message) -> None:
         if message.meta.get("for") == "eject":
+            if not self._fault_dedupe(message, "ej"):
+                return
             key = (message.src, message.block)
             txn = self._txns.get(message.block)
             assert message.version is not None
@@ -402,6 +408,12 @@ class FullMapDirectoryController(AbstractMemoryController):
             return
         txn = self._txns.get(message.block)
         if txn is None or txn.phase != "query":
+            if self.net.faults is not None:
+                # A duplicated query answer (the first copy retired the
+                # query): absorb it rather than treating the transport as
+                # broken.
+                self.counters.add("duplicate_query_data_dropped")
+                return
             raise RuntimeError(f"{self.name}: unexpected query data {message!r}")
         assert message.version is not None
         txn.phase = "query-done"  # a second answer must fail loudly
@@ -454,7 +466,11 @@ class FullMapDirectoryController(AbstractMemoryController):
     # ==================================================================
     def _send_get(self, txn: _Txn, version: int, exclusive: bool = False) -> None:
         requester = self._requester(txn)
-        meta = {"exclusive": True} if exclusive else {}
+        # Echo the REQUEST uid so the cache can reject a duplicated grant
+        # from an earlier miss on the same block (faults only).
+        meta = {"txn": txn.msg.meta.get("txn")}
+        if exclusive:
+            meta["exclusive"] = True
         self._send(
             MessageKind.GET,
             dst=self._cache_name(requester),

@@ -78,6 +78,8 @@ class Machine:
     network: object
     managers: List
     registry: CounterRegistry
+    #: Attached :class:`repro.faults.FaultInjector` (None = fault-free).
+    faults: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Execution

@@ -23,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import MachineConfig
+from repro.faults.inject import attach_faults
+from repro.faults.plan import FAULT_PROTOCOLS, FaultSpec
 from repro.protocols import registry
 from repro.verification.audit import audit_machine
 from repro.workloads.reference import MemRef, Op
@@ -125,13 +127,23 @@ def run_lockstep(
     refs: Sequence[MemRef],
     cache_sets: int = 2,
     cache_assoc: int = 2,
+    faults: Optional[FaultSpec] = None,
 ) -> ProtocolTrace:
-    """Drive ``refs`` serially (full drain between ops) through ``protocol``."""
+    """Drive ``refs`` serially (full drain between ops) through ``protocol``.
+
+    With ``faults``, deliveries are perturbed and controllers may NAK,
+    but each reference is still drained to completion — so the lockstep
+    theorem is unchanged: observable reads and finals must match the
+    fault-free reference exactly, which makes this harness a recovery
+    conformance check as well.
+    """
     n_processors = max(r.pid for r in refs) + 1 if refs else 1
     n_blocks = max(r.block for r in refs) + 1 if refs else 1
     machine = _build_lockstep_machine(
         protocol, n_processors, n_blocks, cache_sets, cache_assoc
     )
+    if faults is not None:
+        attach_faults(machine, faults)
     reads: List[Tuple[int, int, int, int]] = []
     for index, ref in enumerate(refs):
         results: list = []
@@ -167,17 +179,37 @@ def run_differential(
     reference: str = "fullmap",
     cache_sets: int = 2,
     cache_assoc: int = 2,
+    faults: Optional[FaultSpec] = None,
 ) -> DifferentialReport:
-    """Replay ``refs`` through every protocol and diff against ``reference``."""
+    """Replay ``refs`` through every protocol and diff against ``reference``.
+
+    With ``faults``, only the protocols with a recovery path
+    (:data:`~repro.faults.plan.FAULT_PROTOCOLS`) are driven — the bus and
+    wired-line protocols model transports whose correctness argument
+    excludes message-level faults.
+    """
     names = list(protocols) if protocols is not None else list(
         registry.protocol_names()
     )
+    if faults is not None:
+        names = [
+            n for n in names if registry.canonical_name(n) in FAULT_PROTOCOLS
+        ]
+        if not names:
+            raise ValueError(
+                "no fault-capable protocol selected; choose from "
+                f"{FAULT_PROTOCOLS}"
+            )
     reference = registry.canonical_name(reference)
     if reference not in names:
         names.insert(0, reference)
     traces = {
         name: run_lockstep(
-            name, refs, cache_sets=cache_sets, cache_assoc=cache_assoc
+            name,
+            refs,
+            cache_sets=cache_sets,
+            cache_assoc=cache_assoc,
+            faults=faults,
         )
         for name in (registry.canonical_name(n) for n in names)
     }

@@ -39,7 +39,9 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.config import MachineConfig
+from repro.config import MachineConfig, ProtocolOptions
+from repro.faults.inject import attach_faults
+from repro.faults.plan import FaultSpec
 from repro.obs.attach import instrument_machine
 from repro.obs.export import chrome_trace_events
 from repro.protocols import registry
@@ -68,6 +70,10 @@ class Scenario:
     #: Cache geometry (tiny defaults; (1, 1) forces evictions).
     cache_sets: int = 2
     cache_assoc: int = 2
+    #: Protocol design-choice overrides (None = the corrected defaults).
+    #: Lets a scenario open race windows the safe defaults close early,
+    #: e.g. disabling the preemptive MREQUEST scrub.
+    options: Optional[ProtocolOptions] = None
 
     @property
     def n_processors(self) -> int:
@@ -108,6 +114,21 @@ DEEP_SCENARIOS = (
     make_scenario("3p1b", "W0 R0 W0", "R0 W0 R0", "W0 W0 R0"),
     make_scenario(
         "evict-1frame", "W0 R1 W0", "R0 W1 R0", cache_sets=1, cache_assoc=1
+    ),
+    # §3.2.5 MREQ_CANCEL late race: caches 0 and 1 both end up with
+    # clean copies and racing MREQUESTs (the third processor's read
+    # keeps the home busy long enough for both writes to overlap).  The
+    # loser converts on the winner's BROADINV and sends a cancel that —
+    # with the preemptive queue scrub disabled, the design-1 variant —
+    # can land while the stale MREQUEST is queued, dispatching, or the
+    # active transaction: the full hierarchy the `cancelled` flag and
+    # cancel markers retire.
+    make_scenario(
+        "mreq-cancel-late",
+        "R0 W0",
+        "R0 W0",
+        "R0",
+        options=ProtocolOptions(scrub_queued_mrequests=False),
     ),
 )
 
@@ -150,8 +171,14 @@ def build_scenario_machine(
     protocol: str,
     scenario: Scenario,
     network: Optional[str] = None,
+    faults: Optional[FaultSpec] = None,
 ):
-    """Fresh machine wired for ``scenario`` (deterministic tie-break)."""
+    """Fresh machine wired for ``scenario`` (deterministic tie-break).
+
+    ``faults`` attaches a fault plan; its injected choices are a pure
+    function of the spec seed and the event schedule, so schedule
+    replays (and shrunk counterexamples) stay bit-identical.
+    """
     # NOTE: imported here, not at module scope — the system builder
     # imports the component classes whose modules import this package
     # back through repro.verification's __init__.
@@ -168,9 +195,13 @@ def build_scenario_machine(
         network=network or spec.default_network(),
         strict_coherence=True,
         tie_seed=None,  # schedule choice replaces randomized tie-break
+        options=scenario.options or ProtocolOptions(),
     )
     workload = ScriptedWorkload([list(s) for s in scenario.scripts])
-    return build_machine(config, workload)
+    machine = build_machine(config, workload)
+    if faults is not None:
+        attach_faults(machine, faults)
+    return machine
 
 
 # ----------------------------------------------------------------------
@@ -385,11 +416,19 @@ def explore(
     max_steps: int = 4000,
     mutate: Optional[Mutator] = None,
     prune: bool = True,
+    faults: Optional[FaultSpec] = None,
 ) -> ModelCheckResult:
-    """Depth-first exhaustive exploration of one scenario."""
+    """Depth-first exhaustive exploration of one scenario.
+
+    With ``faults``, the injector's choices (delay, duplication, stall
+    windows) become part of each explored branch: delayed/duplicated
+    deliveries are ordinary schedulable events, so the checker searches
+    protocol interleavings *under* the fault plan, and counterexamples
+    shrink and replay exactly as in the fault-free mode.
+    """
 
     def fresh() -> Machine:
-        machine = build_scenario_machine(protocol, scenario)
+        machine = build_scenario_machine(protocol, scenario, faults=faults)
         if mutate is not None:
             mutate(machine)
         return machine
@@ -507,6 +546,7 @@ def check_protocol(
     max_schedules: int = 20_000,
     max_steps: int = 4000,
     mutate: Optional[Mutator] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> List[ModelCheckResult]:
     """Explore every scenario of ``depth`` for one protocol."""
     chosen = tuple(scenarios) if scenarios is not None else scenarios_for(depth)
@@ -517,6 +557,7 @@ def check_protocol(
             max_schedules=max_schedules,
             max_steps=max_steps,
             mutate=mutate,
+            faults=faults,
         )
         for scenario in chosen
     ]
@@ -527,6 +568,7 @@ def check_all(
     protocols: Optional[Sequence[str]] = None,
     max_schedules: int = 20_000,
     max_steps: int = 4000,
+    faults: Optional[FaultSpec] = None,
 ) -> List[ModelCheckResult]:
     """Explore every registered protocol at ``depth``."""
     names = (
@@ -538,7 +580,11 @@ def check_all(
     for name in names:
         results.extend(
             check_protocol(
-                name, depth, max_schedules=max_schedules, max_steps=max_steps
+                name,
+                depth,
+                max_schedules=max_schedules,
+                max_steps=max_steps,
+                faults=faults,
             )
         )
     return results

@@ -128,14 +128,35 @@ _SKIP_CLASSES = frozenset(
         "TimingConfig",
         "ProtocolOptions",
         "AddressMap",
+        "FaultSpec",  # frozen plan data; behaviour is in the injector RNG
     }
 )
 
 #: Dict-valued attributes whose values are transaction uids that must be
 #: canonically renumbered (module-global counters differ across replays).
 _UID_VALUE_ATTRS = frozenset(
-    {"_inflight_clean_ejects", "_cancelled_mreqs", "_revoked_ejects"}
+    {
+        "_inflight_clean_ejects",
+        "_cancelled_mreqs",
+        "_revoked_ejects",
+        "_dirty_eject_uids",
+    }
 )
+
+#: Set-valued attributes of tuples whose *last* element is a uid, and
+#: dict-valued attributes keyed by such tuples.  Sorted by their stable
+#: prefix (then raw uid, whose relative order is replay-stable) before
+#: canonical renumbering, because set iteration order depends on the raw
+#: uid values.
+_UID_TUPLE_SET_ATTRS = frozenset(
+    {"_admitted_cmds", "_eject_retry_scheduled", "_scrubbed_mreqs"}
+)
+_UID_TUPLE_KEY_ATTRS = frozenset({"_eject_retries"})
+
+
+def _uid_tuple_sort_key(t: tuple):
+    uid = t[-1]
+    return (repr(t[:-1]), not isinstance(uid, int), uid if isinstance(uid, int) else 0)
 
 #: Message.meta keys holding transaction uids.
 _UID_META_KEYS = frozenset({"txn", "ej"})
@@ -181,6 +202,11 @@ class StateFingerprinter:
         self._in_progress: set = set()
         self._emit_target: int = 0
         parts = [("now", self.machine.sim.now)]
+        faults = getattr(self.machine, "faults", None)
+        if faults is not None:
+            # The injector's RNG stream, path cursors, and stall windows
+            # all feed back into future behaviour.
+            parts.append(("faults", self._freeze(faults)))
         for comp in [*self._components(), self.machine.oracle]:
             # While a component is the emit target it is frozen in full;
             # any reference to a *different* component collapses to
@@ -297,6 +323,28 @@ class StateFingerprinter:
                     ]
                     frozen.sort(key=lambda kv: repr(kv[0]))
                     fields.append((attr, tuple(frozen)))
+                elif attr in _UID_TUPLE_SET_ATTRS and isinstance(
+                    value, (set, frozenset)
+                ):
+                    frozen = tuple(
+                        tuple(self._freeze(x) for x in t[:-1])
+                        + (self._canon_uid(t[-1]),)
+                        for t in sorted(value, key=_uid_tuple_sort_key)
+                    )
+                    fields.append((attr, frozen))
+                elif attr in _UID_TUPLE_KEY_ATTRS and isinstance(value, dict):
+                    frozen = tuple(
+                        (
+                            tuple(self._freeze(x) for x in k[:-1])
+                            + (self._canon_uid(k[-1]),),
+                            self._freeze(v),
+                        )
+                        for k, v in sorted(
+                            value.items(),
+                            key=lambda kv: _uid_tuple_sort_key(kv[0]),
+                        )
+                    )
+                    fields.append((attr, frozen))
                 else:
                     fields.append((attr, self._freeze(value)))
             return (cls, tuple(fields))

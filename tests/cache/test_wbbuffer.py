@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.cache.wbbuffer import WriteBackBuffer
+from repro.cache.wbbuffer import (
+    MissingWriteBackEntry,
+    WriteBackBuffer,
+    WriteBackBufferFull,
+)
 
 
 def test_insert_get_release():
@@ -34,8 +38,36 @@ def test_capacity_enforced():
     buf = WriteBackBuffer(capacity=1)
     buf.insert(0, 1)
     assert buf.full
-    with pytest.raises(OverflowError):
+    with pytest.raises(WriteBackBufferFull):
         buf.insert(1, 1)
+
+
+def test_full_insert_is_structured_not_overflow():
+    # Regression: the old code raised a bare OverflowError, which the
+    # retry path cannot distinguish from an arithmetic failure.
+    buf = WriteBackBuffer(capacity=1)
+    buf.insert(0, 1)
+    try:
+        buf.insert(1, 1)
+    except WriteBackBufferFull as exc:
+        assert "defer" in str(exc)
+    else:  # pragma: no cover
+        pytest.fail("expected WriteBackBufferFull")
+
+
+def test_release_missing_is_protocol_error():
+    # Regression: double-release (duplicate EJECT_ACK) raised a bare
+    # KeyError; now it names the protocol condition.
+    buf = WriteBackBuffer()
+    buf.insert(4, 1)
+    buf.release(4)
+    with pytest.raises(MissingWriteBackEntry, match="duplicate"):
+        buf.release(4)
+
+
+def test_supersede_missing_is_protocol_error():
+    with pytest.raises(MissingWriteBackEntry, match="never issued"):
+        WriteBackBuffer().supersede(7)
 
 
 def test_blocks_sorted():

@@ -35,6 +35,7 @@ class StubNet:
         self.holders = set(holders)
         self.dirty = dirty
         self.counters = CounterSet("stubnet")
+        self.faults = None
         self.ctrl: Optional[TwoBitDirectoryController] = None
         self.sent: List[str] = []
 

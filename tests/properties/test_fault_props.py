@@ -1,0 +1,74 @@
+"""Property-based tests for the fault-injection layer's determinism.
+
+Two invariants the whole subsystem rests on:
+
+* a fault plan is a pure function of its spec — the same ``FaultSpec``
+  replayed against the same machine gives a bit-identical run;
+* an *inactive* spec is indistinguishable from no spec at all — the
+  injector must return before touching its RNG, so attaching an empty
+  plan cannot perturb a single cycle of a bare run.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MachineConfig
+from repro.faults import FAULT_PROTOCOLS, FaultSpec, attach_faults
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+probs = st.sampled_from([0.0, 0.05, 0.1, 0.2])
+
+
+specs = st.builds(
+    FaultSpec,
+    seed=st.integers(min_value=0, max_value=2**16),
+    delay_prob=probs,
+    max_delay=st.integers(min_value=1, max_value=4),
+    dup_prob=probs,
+    reorder_prob=probs,
+    stall_prob=probs,
+    max_stall=st.integers(min_value=1, max_value=6),
+)
+
+
+def _run(protocol, spec):
+    """One small machine run; returns everything observable about it."""
+    workload = DuboisBriggsWorkload(
+        n_processors=2, q=0.2, w=0.4, private_blocks_per_proc=8, seed=11
+    )
+    config = MachineConfig(
+        n_processors=2,
+        n_modules=1,
+        n_blocks=workload.n_blocks,
+        cache_sets=2,
+        cache_assoc=1,
+        protocol=protocol,
+        seed=11,
+    )
+    machine = build_machine(config, workload)
+    if spec is not None:
+        attach_faults(machine, spec)
+    machine.run(refs_per_proc=150, warmup_refs=20)
+    results = machine.results()
+    return (
+        results.cycles,
+        results.total_refs,
+        results.avg_latency,
+        results.miss_ratio,
+        machine.registry.merged().snapshot(),
+    )
+
+
+@given(spec=specs, protocol=st.sampled_from(FAULT_PROTOCOLS))
+@settings(max_examples=12, deadline=None)
+def test_same_spec_same_run(spec, protocol):
+    assert _run(protocol, spec) == _run(protocol, spec)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=8, deadline=None)
+def test_inactive_spec_bit_identical_to_bare_run(seed):
+    bare = _run("twobit", None)
+    empty = _run("twobit", FaultSpec(seed=seed))
+    assert bare == empty

@@ -33,6 +33,7 @@ class StubNet:
         self.sim = sim
         self.dirty_owner = dirty_owner
         self.counters = CounterSet("stubnet")
+        self.faults = None
         self.ctrl = None
         self.sent: List[str] = []
 

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.cache",
     "repro.core",
+    "repro.faults",
     "repro.interconnect",
     "repro.memory",
     "repro.obs",

@@ -215,6 +215,36 @@ def test_make_scenario_parses_scripts():
 
 
 # ----------------------------------------------------------------------
+# The §3.2.5 MREQ_CANCEL late race: the scripted scenario must actually
+# reach the race, not just pass vacuously.
+# ----------------------------------------------------------------------
+def test_mreq_cancel_late_scenario_exercises_the_race():
+    """Exhaust the cancel-late scenario and prove the cancel hierarchy
+    fires: the loser's stale MREQUEST is caught queued (engine scrub),
+    at dispatch (marker), and while active (`cancelled` flag).  A zero
+    count would mean the scenario's timing window closed and the race
+    code is no longer being model-checked."""
+    from collections import Counter
+
+    scenario = next(s for s in DEEP_SCENARIOS if s.name == "mreq-cancel-late")
+    machines = []
+    result = explore("twobit", scenario, mutate=machines.append)
+    assert result.exhausted and result.ok, (
+        result.counterexample.render() if result.counterexample else "cap hit"
+    )
+    totals = Counter()
+    for machine in machines:
+        for name, value in machine.registry.merged().snapshot().items():
+            totals[name] += value
+    assert totals["mrequests_cancelled"] > 0  # scrubbed while queued
+    assert totals["mrequests_cancelled_at_dispatch"] > 0
+    assert totals["mrequests_cancelled_active"] > 0
+    # The race exists at all only because the winner's BROADINV caught
+    # the loser with a pending MREQUEST (the §3.2.5 conversion).
+    assert totals["mreq_converted_to_miss"] > 0
+
+
+# ----------------------------------------------------------------------
 # Slow tier: the full deep matrix (nightly CI).
 # ----------------------------------------------------------------------
 @pytest.mark.slow
