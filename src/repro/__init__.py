@@ -5,38 +5,48 @@ The package implements the paper's two-bit directory scheme, every
 baseline it compares against, a discrete-event multiprocessor simulator
 to run them on, the paper's analytical models, and a verification layer.
 
-Quick start::
+Quick start — the stable facade (see ``docs/api.md``)::
 
-    from repro import MachineConfig, DuboisBriggsWorkload, build_machine
+    from repro import Experiment
 
-    config = MachineConfig(n_processors=4, protocol="twobit")
-    workload = DuboisBriggsWorkload(n_processors=4, q=0.05, w=0.2)
-    machine = build_machine(config, workload)
-    machine.run(refs_per_proc=2000, warmup_refs=500)
-    print(machine.results().summary())
+    outcome = Experiment(protocol="twobit", n_processors=4, q=0.05).run()
+    print(outcome.results.summary())
+
+    # a cached, crash-tolerant parameter grid:
+    report = Experiment().sweep(
+        {"protocol": ["twobit", "fullmap"], "q": [0.01, 0.05]},
+        workers=4, elastic=True,
+    )
+
+Lower-level building blocks (``MachineConfig``, workloads, the machine
+itself) remain importable for custom setups; the old module-level
+helpers ``build_machine`` / ``audit_machine`` / ``describe_machine`` /
+``render_topology`` are deprecated here in favour of the facade and
+their home modules, and warn on use.
 """
 
+import importlib
+import warnings
+
+from repro.api import Experiment, RunOutcome, resume, run_point
 from repro.core import (
     GlobalState,
     TranslationBuffer,
     TwoBitDirectory,
     TwoBitDirectoryController,
 )
+from repro.schema import SCHEMA_VERSION, SchemaMismatchError
 from repro.system import (
     Machine,
     MachineConfig,
     ProtocolOptions,
     SimulationResults,
     TimingConfig,
-    build_machine,
-    describe_machine,
-    render_topology,
 )
 from repro.verification import (
     AuditReport,
     CoherenceOracle,
     CoherenceViolation,
-    audit_machine,
 )
 from repro.workloads import (
     DuboisBriggsWorkload,
@@ -50,17 +60,61 @@ from repro.workloads import (
 
 __version__ = "1.0.0"
 
+#: Deprecated top-level helpers: name -> (home module, replacement hint).
+#: Kept importable (with a DeprecationWarning) for one release so
+#: existing scripts keep running; the facade or the home module is the
+#: supported spelling.
+_DEPRECATED = {
+    "build_machine": (
+        "repro.system.builder",
+        "Experiment(...).build() or repro.system.builder.build_machine",
+    ),
+    "audit_machine": (
+        "repro.verification.audit",
+        "Experiment(...).run() (audits automatically) or "
+        "repro.verification.audit.audit_machine",
+    ),
+    "describe_machine": (
+        "repro.system.topology",
+        "repro.system.topology.describe_machine",
+    ),
+    "render_topology": (
+        "repro.system.topology",
+        "repro.system.topology.render_topology",
+    ),
+}
+
+
+def __getattr__(name):
+    entry = _DEPRECATED.get(name)
+    if entry is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    module_name, replacement = entry
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_name), name)
+
+
 __all__ = [
     "AuditReport",
     "CoherenceOracle",
     "CoherenceViolation",
     "DuboisBriggsWorkload",
+    "Experiment",
     "GlobalState",
     "Machine",
     "MachineConfig",
     "MemRef",
     "Op",
     "ProtocolOptions",
+    "RunOutcome",
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
     "SimulationResults",
     "TimingConfig",
     "TraceWorkload",
@@ -73,4 +127,6 @@ __all__ = [
     "build_machine",
     "describe_machine",
     "render_topology",
+    "resume",
+    "run_point",
 ]

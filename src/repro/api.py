@@ -1,0 +1,444 @@
+"""Stable public facade: one object, four verbs.
+
+:class:`Experiment` is the supported entry point for driving the
+reproduction programmatically.  It takes keyword-only arguments whose
+names match both the ``MachineConfig``/workload fields and the CLI
+flags one-for-one (``repro run --q 0.05`` ↔ ``Experiment(q=0.05)``),
+and exposes:
+
+* :meth:`Experiment.run` — simulate one machine (optionally
+  checkpointing), audit it, return a :class:`RunOutcome`;
+* :meth:`Experiment.sweep` — fan a grid of variants out over worker
+  processes, cached and optionally *elastic* (crash-tolerant,
+  checkpoint-resumable — see :mod:`repro.runner.elastic`);
+* :meth:`Experiment.check` — model-check + differential-test the
+  experiment's protocol;
+* :meth:`Experiment.trace` — run instrumented and export a Perfetto
+  trace.
+
+:func:`resume` restores a checkpointed run from disk and finishes it;
+:func:`run_point` is the module-level sweep point function (picklable
+by reference, cache-keyed on its kwargs) that both sweep flavours and
+the CLI share.
+
+Everything here is covered by the committed API surface snapshot
+(``API_SURFACE.txt``, enforced in CI): changing a signature is a
+reviewed event, not an accident.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.config import MachineConfig, ProtocolOptions
+from repro.protocols import registry
+from repro.runner.seeds import derive_seed
+from repro.runner.sweep import SweepPoint, SweepReport
+from repro.system.machine import Machine, SimulationResults
+from repro.verification.audit import AuditReport, audit_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+__all__ = ["Experiment", "RunOutcome", "resume", "run_point"]
+
+#: Experiment parameters that size/seed the simulation rather than the
+#: machine; everything else maps onto MachineConfig fields.
+_RUN_PARAMS = ("refs_per_proc", "warmup_refs")
+
+
+@dataclass
+class RunOutcome:
+    """What one :meth:`Experiment.run` produced."""
+
+    #: The drained machine (for histograms, occupancy, further audits).
+    machine: Machine
+    #: Aggregated measurements (``results.to_dict()`` is the persisted
+    #: form, stamped with the results schema version).
+    results: SimulationResults
+    #: Coherence audit verdict (raised on already if ``strict`` ran).
+    audit: AuditReport
+    #: Observability hub when the run was instrumented, else None.
+    obs: Optional[object] = None
+
+
+class Experiment:
+    """A named, reproducible simulation setup (see module docstring).
+
+    All arguments are keyword-only and shared verbatim with the CLI:
+
+    Args:
+        protocol: registry protocol name or alias (``twobit``,
+            ``fullmap``, ``write_once``, ...).
+        n_processors: processor-cache pairs.
+        n_modules: memory-module/controller pairs.
+        q: probability a reference is to the shared pool.
+        w: probability a shared reference is a write.
+        network: interconnect (``xbar``/``bus``/``delta``); None picks
+            the protocol's preferred network.
+        refs_per_proc: measured references per processor.
+        warmup_refs: warm-up references per processor (not measured).
+        seed: master seed (workload streams derive from it).
+        translation_buffer_entries: §4.4 enhancement 2 capacity (0=off).
+        duplicate_directory: §4.4 enhancement 1 toggle.
+        faults: fault plan — canned name, ``key=value`` spec string, or
+            a :class:`~repro.faults.plan.FaultSpec`; None = fault-free.
+        sample_interval: telemetry sampler window for instrumented runs.
+        private_blocks_per_proc: per-processor private pool size.
+    """
+
+    def __init__(
+        self,
+        *,
+        protocol: str = "twobit",
+        n_processors: int = 4,
+        n_modules: int = 2,
+        q: float = 0.05,
+        w: float = 0.2,
+        network: Optional[str] = None,
+        refs_per_proc: int = 3000,
+        warmup_refs: int = 500,
+        seed: int = 1984,
+        translation_buffer_entries: int = 0,
+        duplicate_directory: bool = False,
+        faults: Optional[object] = None,
+        sample_interval: int = 200,
+        private_blocks_per_proc: int = 128,
+    ) -> None:
+        self.protocol = registry.canonical_name(protocol)
+        self.n_processors = n_processors
+        self.n_modules = n_modules
+        self.q = q
+        self.w = w
+        self.network = (
+            network
+            if network is not None
+            else registry.resolve(self.protocol).default_network()
+        )
+        self.refs_per_proc = refs_per_proc
+        self.warmup_refs = warmup_refs
+        self.seed = seed
+        self.translation_buffer_entries = translation_buffer_entries
+        self.duplicate_directory = duplicate_directory
+        self.faults = faults
+        self.sample_interval = sample_interval
+        self.private_blocks_per_proc = private_blocks_per_proc
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def to_kwargs(self) -> Dict[str, Any]:
+        """The constructor kwargs reproducing this experiment.
+
+        Every value has a stable ``repr`` (builtins, or the frozen
+        builtins-only :class:`~repro.faults.plan.FaultSpec`), which is
+        what the sweep result cache keys on.
+        """
+        faults = self.faults
+        return {
+            "protocol": self.protocol,
+            "n_processors": self.n_processors,
+            "n_modules": self.n_modules,
+            "q": self.q,
+            "w": self.w,
+            "network": self.network,
+            "refs_per_proc": self.refs_per_proc,
+            "warmup_refs": self.warmup_refs,
+            "seed": self.seed,
+            "translation_buffer_entries": self.translation_buffer_entries,
+            "duplicate_directory": self.duplicate_directory,
+            "faults": faults,
+            "sample_interval": self.sample_interval,
+            "private_blocks_per_proc": self.private_blocks_per_proc,
+        }
+
+    def variant(self, **overrides: Any) -> "Experiment":
+        """A copy of this experiment with some parameters replaced."""
+        kwargs = self.to_kwargs()
+        unknown = set(overrides) - set(kwargs)
+        if unknown:
+            raise TypeError(
+                f"unknown experiment parameter(s): {sorted(unknown)}"
+            )
+        kwargs.update(overrides)
+        return Experiment(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def _fault_spec(self):
+        if self.faults is None:
+            return None
+        from repro.faults import FAULT_PROTOCOLS, parse_faults
+
+        spec = (
+            parse_faults(self.faults)
+            if isinstance(self.faults, str)
+            else self.faults
+        )
+        if self.protocol not in FAULT_PROTOCOLS:
+            raise ValueError(
+                f"faults: {self.protocol} has no NAK/retry recovery path; "
+                f"choose from {', '.join(FAULT_PROTOCOLS)}"
+            )
+        return spec
+
+    def build(self, instrument: bool = False, keep_events: bool = False):
+        """Assemble the machine (not yet run); returns ``(machine, obs)``."""
+        from repro.faults import attach_faults
+        from repro.system.builder import build_machine
+
+        workload = DuboisBriggsWorkload(
+            n_processors=self.n_processors,
+            q=self.q,
+            w=self.w,
+            private_blocks_per_proc=self.private_blocks_per_proc,
+            seed=self.seed,
+        )
+        config = MachineConfig(
+            n_processors=self.n_processors,
+            n_modules=self.n_modules,
+            n_blocks=workload.n_blocks,
+            protocol=self.protocol,
+            network=self.network,
+            seed=self.seed,
+            options=ProtocolOptions(
+                translation_buffer_entries=self.translation_buffer_entries,
+                duplicate_directory=self.duplicate_directory,
+            ),
+        )
+        machine = build_machine(config, workload)
+        spec = self._fault_spec()
+        if spec is not None:
+            attach_faults(machine, spec)
+        obs = None
+        if instrument:
+            from repro.obs import instrument_machine
+
+            obs = instrument_machine(
+                machine,
+                sample_interval=self.sample_interval,
+                keep_events=keep_events,
+            )
+        return machine, obs
+
+    # ------------------------------------------------------------------
+    # Verbs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+        instrument: bool = False,
+        keep_events: bool = False,
+        strict: bool = True,
+    ) -> RunOutcome:
+        """Simulate, audit, and return the outcome.
+
+        Args:
+            checkpoint_every: checkpoint the machine every this many
+                cycles of the measurement window (0 = never).
+            checkpoint_path: checkpoint file (may contain ``{cycle}``);
+                required with ``checkpoint_every``.
+            instrument: attach the observability hub.
+            keep_events: retain raw events/spans for trace export.
+            strict: raise on a failed coherence audit.
+        """
+        machine, obs = self.build(
+            instrument=instrument, keep_events=keep_events
+        )
+        machine.run(
+            refs_per_proc=self.refs_per_proc,
+            warmup_refs=self.warmup_refs,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        audit = audit_machine(machine)
+        if strict:
+            audit.raise_if_failed()
+        return RunOutcome(
+            machine=machine, results=machine.results(), audit=audit, obs=obs
+        )
+
+    def sweep(
+        self,
+        axes: Mapping[str, Sequence[Any]],
+        workers: Optional[int] = None,
+        elastic: bool = False,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Optional[str] = None,
+        cache_dir: Optional[Any] = None,
+        use_cache: bool = True,
+        label: Optional[str] = None,
+        max_retries: int = 2,
+        stall_timeout: Optional[float] = None,
+        verbose: bool = False,
+    ) -> SweepReport:
+        """Run the cross-product of ``axes`` over this experiment.
+
+        Each axis key is an :class:`Experiment` parameter; each grid
+        point runs :func:`run_point` with this experiment's parameters
+        plus the point's overrides and a per-point derived seed, so
+        results are independent of worker count and execution order.
+
+        ``elastic=True`` uses the work-stealing crash-tolerant pool
+        (:func:`~repro.runner.elastic.run_sweep_elastic`); with
+        ``checkpoint_every`` set, a shard interrupted by worker death
+        resumes from its last checkpoint instead of recomputing.
+        Elastic and plain sweeps share the same result cache entries.
+        """
+        from repro.runner.elastic import run_sweep_elastic
+        from repro.runner.sweep import run_sweep
+
+        points = self.sweep_points(axes)
+        name = label if label is not None else f"{self.protocol}-grid"
+        if elastic:
+            return run_sweep_elastic(
+                points,
+                workers=workers if workers is not None else 2,
+                cache_dir=cache_dir,
+                use_cache=use_cache,
+                label=name,
+                verbose=verbose,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                max_retries=max_retries,
+                stall_timeout=stall_timeout,
+            )
+        return run_sweep(
+            points,
+            workers=workers,
+            cache_dir=cache_dir,
+            use_cache=use_cache,
+            label=name,
+            verbose=verbose,
+        )
+
+    def sweep_points(
+        self, axes: Mapping[str, Sequence[Any]]
+    ) -> List[SweepPoint]:
+        """The :class:`SweepPoint` grid :meth:`sweep` would run."""
+        base = self.to_kwargs()
+        unknown = set(axes) - set(base)
+        if unknown:
+            raise TypeError(f"unknown sweep axis/axes: {sorted(unknown)}")
+        names = sorted(axes)
+        points = []
+        for values in itertools.product(*(axes[name] for name in names)):
+            overrides = dict(zip(names, values))
+            kwargs = {**base, **overrides}
+            kwargs["seed"] = derive_seed(
+                self.seed, *(repr(overrides[name]) for name in names)
+            )
+            key = tuple(sorted(overrides.items()))
+            points.append(SweepPoint(fn=run_point, kwargs=kwargs, key=key))
+        return points
+
+    def check(
+        self,
+        depth: str = "smoke",
+        max_schedules: int = 20_000,
+        max_steps: int = 4000,
+        differential: int = 3,
+    ) -> bool:
+        """Model-check + differential-test this experiment's protocol.
+
+        Returns True when every scenario's interleavings pass and the
+        differential streams agree; counterexamples print to stdout
+        exactly as ``repro check`` would show them.
+        """
+        from repro.verification import differential as diff_mod
+        from repro.verification import model_check
+
+        spec = self._fault_spec()
+        ok = True
+        results = model_check.check_protocol(
+            self.protocol,
+            scenarios=model_check.scenarios_for(depth),
+            max_schedules=max_schedules,
+            max_steps=max_steps,
+            faults=spec,
+        )
+        for result in results:
+            if result.counterexample is not None:
+                ok = False
+                print(result.summary())
+                print(result.counterexample.render())
+        for offset in range(differential):
+            refs = diff_mod.random_refs(self.seed + offset)
+            report = diff_mod.run_differential(
+                refs, protocols=[self.protocol], faults=spec
+            )
+            if not report.ok:
+                ok = False
+                print(report.render())
+        return ok
+
+    def trace(self, out: str, strict: bool = True) -> RunOutcome:
+        """Run instrumented and export a Perfetto/Chrome trace to ``out``."""
+        from repro.obs import write_chrome_trace
+
+        outcome = self.run(
+            instrument=True, keep_events=True, strict=strict
+        )
+        outcome.obs.flush(outcome.machine.sim.now)
+        write_chrome_trace(out, outcome.obs)
+        return outcome
+
+
+def resume(
+    checkpoint_path: str,
+    checkpoint_every: int = 0,
+    allow_code_mismatch: bool = False,
+    strict: bool = True,
+) -> RunOutcome:
+    """Restore a checkpointed machine and finish its interrupted run.
+
+    The completed run is bit-identical to one that was never
+    interrupted.  ``checkpoint_every`` continues checkpointing back to
+    the same file at the same cadence (0 = just finish).
+    """
+    from repro import checkpoint as _checkpoint
+
+    machine = _checkpoint.load(
+        checkpoint_path, allow_code_mismatch=allow_code_mismatch
+    )
+    machine.continue_run(
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path if checkpoint_every else None,
+    )
+    audit = audit_machine(machine)
+    if strict:
+        audit.raise_if_failed()
+    return RunOutcome(
+        machine=machine,
+        results=machine.results(),
+        audit=audit,
+        obs=machine.sim.obs,
+    )
+
+
+def run_point(
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    **kwargs: Any,
+) -> Dict[str, Any]:
+    """Sweep point function: one experiment -> ``results.to_dict()``.
+
+    Module-level (picklable by reference) and cache-keyed on ``kwargs``
+    only — the checkpoint arguments are injected per-execution by the
+    elastic runner and never reach the cache key.  When
+    ``checkpoint_path`` already exists the simulation *resumes* from it
+    instead of restarting: that is how a retried elastic shard avoids
+    recomputing cycles it already simulated.
+    """
+    if checkpoint_path and os.path.exists(checkpoint_path):
+        outcome = resume(
+            checkpoint_path, checkpoint_every=checkpoint_every
+        )
+        return outcome.results.to_dict()
+    outcome = Experiment(**kwargs).run(
+        checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_path
+    )
+    return outcome.results.to_dict()

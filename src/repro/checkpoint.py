@@ -1,0 +1,308 @@
+"""Versioned snapshot/restore of a running :class:`~repro.system.machine.Machine`.
+
+A checkpoint captures the *entire* simulation — kernel event heap, cache
+line arrays and write-back buffers, directory state, in-flight network
+messages, RNG streams, protocol-engine transaction state, fault-injector
+state and telemetry counters — such that::
+
+    restore(checkpoint(machine)).continue_run()
+
+is bit-identical to never having stopped (asserted by the golden tests
+for every registry protocol, fault-free and faulted).  The machine graph
+is deep-pickled as one object, which preserves every internal alias
+(heap entries referencing the same ``Message`` objects as component
+queues, caches sharing their workload, ...).
+
+File format
+-----------
+A magic line, one JSON header line, then the pickle payload::
+
+    %REPRO-CKPT\\n
+    {"schema_version": 1, "code_version": ..., "cycle": ..., ...}\\n
+    <pickle bytes>
+
+The header is readable without unpickling (:func:`peek`) and carries a
+SHA-256 of the payload; :func:`load` verifies it, the results
+``schema_version`` (see :mod:`repro.schema`) and the ``code_version``
+digest of the ``repro`` sources — a checkpoint taken under different
+simulator code would not resume bit-identically, so the mismatch is a
+loud :class:`CheckpointError`, overridable with
+``allow_code_mismatch=True``.
+
+uid-counter floors
+------------------
+Three module-level ``itertools.count`` streams hand out uids for
+messages, cache-side operations and eviction notices.  uid *values*
+never influence simulated behaviour — only equality between a stored uid
+and a later message's uid does — but restoring a checkpoint in a fresh
+process resets those counters to zero, so a post-restore uid could
+collide with an in-flight pre-checkpoint uid and corrupt a dedup check.
+The header therefore records each counter's position at save time, and
+:func:`restore_bytes` advances the live counters past those floors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import io
+import itertools
+import json
+import os
+import pickle
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+from repro.schema import SCHEMA_VERSION, check_schema
+
+#: First line of every checkpoint file.
+MAGIC = b"%REPRO-CKPT\n"
+
+__all__ = [
+    "MAGIC",
+    "CheckpointError",
+    "CheckpointHeader",
+    "fingerprint",
+    "load",
+    "peek",
+    "resolve_path",
+    "restore_bytes",
+    "save",
+    "snapshot_bytes",
+    "uid_floors",
+]
+
+#: Module-level uid streams whose positions are checkpointed (see
+#: module docstring).  name -> (module path, attribute).
+_UID_COUNTERS = {
+    "msg": ("repro.interconnect.message", "_msg_ids"),
+    "op": ("repro.protocols.cache_side", "_op_uids"),
+    "eject": ("repro.protocols.wt_filter", "_eject_uids"),
+}
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written, read or safely restored."""
+
+
+@dataclass(frozen=True)
+class CheckpointHeader:
+    """The JSON header of a checkpoint file (readable via :func:`peek`)."""
+
+    schema_version: int
+    code_version: str
+    protocol: str
+    n_processors: int
+    cycle: int
+    events_processed: int
+    uid_floors: Dict[str, int]
+    payload_sha256: str
+    payload_size: int
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointHeader":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"corrupt checkpoint header: {exc}") from exc
+        try:
+            return cls(**raw)
+        except TypeError as exc:
+            raise CheckpointError(
+                f"checkpoint header has unexpected fields: {exc}"
+            ) from exc
+
+
+# ----------------------------------------------------------------------
+# uid-counter floors
+# ----------------------------------------------------------------------
+def _counter_position(counter) -> int:
+    """Next value an ``itertools.count`` will yield (without consuming)."""
+    # count(7) reprs as "count(7)"; ours are all step-1.
+    text = repr(counter)
+    return int(text[text.index("(") + 1 : text.index(")")])
+
+
+def uid_floors() -> Dict[str, int]:
+    """Current positions of every registered uid stream."""
+    floors = {}
+    for name, (module_path, attr) in _UID_COUNTERS.items():
+        module = importlib.import_module(module_path)
+        floors[name] = _counter_position(getattr(module, attr))
+    return floors
+
+
+def _apply_uid_floors(floors: Dict[str, int]) -> None:
+    """Advance the live uid streams past the checkpointed positions."""
+    for name, (module_path, attr) in _UID_COUNTERS.items():
+        floor = floors.get(name)
+        if floor is None:
+            continue
+        module = importlib.import_module(module_path)
+        if _counter_position(getattr(module, attr)) < floor:
+            setattr(module, attr, itertools.count(floor))
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def snapshot_bytes(machine) -> bytes:
+    """Serialize ``machine`` to the full checkpoint file format."""
+    from repro.runner.cache import code_version
+
+    try:
+        payload = pickle.dumps(machine, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"machine is not picklable: {exc!r} — a component is holding "
+            f"a lambda, generator or other unpicklable state"
+        ) from exc
+    header = CheckpointHeader(
+        schema_version=SCHEMA_VERSION,
+        code_version=code_version(),
+        protocol=machine.config.protocol,
+        n_processors=machine.config.n_processors,
+        cycle=machine.sim.now,
+        events_processed=machine.sim.events_processed,
+        uid_floors=uid_floors(),
+        payload_sha256=hashlib.sha256(payload).hexdigest(),
+        payload_size=len(payload),
+    )
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(header.to_json().encode("utf-8"))
+    out.write(b"\n")
+    out.write(payload)
+    return out.getvalue()
+
+
+def _split(data: bytes, context: str):
+    if not data.startswith(MAGIC):
+        raise CheckpointError(f"{context}: not a checkpoint (bad magic)")
+    rest = data[len(MAGIC):]
+    newline = rest.find(b"\n")
+    if newline < 0:
+        raise CheckpointError(f"{context}: truncated checkpoint header")
+    header = CheckpointHeader.from_json(rest[:newline].decode("utf-8"))
+    return header, rest[newline + 1:]
+
+
+def restore_bytes(data: bytes, allow_code_mismatch: bool = False):
+    """Reconstruct a :class:`Machine` from :func:`snapshot_bytes` output.
+
+    Verifies the magic, schema version, payload digest and (unless
+    ``allow_code_mismatch``) that the ``repro`` sources are the ones the
+    checkpoint was taken under, then unpickles the machine and advances
+    the uid streams past their checkpointed floors.
+    """
+    from repro.runner.cache import code_version
+
+    header, payload = _split(data, "restore")
+    check_schema(header.schema_version, "checkpoint")
+    if len(payload) != header.payload_size:
+        raise CheckpointError(
+            f"truncated checkpoint: payload is {len(payload)} bytes, "
+            f"header says {header.payload_size}"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header.payload_sha256:
+        raise CheckpointError("corrupt checkpoint: payload digest mismatch")
+    if not allow_code_mismatch and header.code_version != code_version():
+        raise CheckpointError(
+            f"checkpoint was taken under code_version "
+            f"{header.code_version}, this build is {code_version()}; a "
+            f"resume would not be bit-identical (pass "
+            f"allow_code_mismatch=True to restore anyway)"
+        )
+    _apply_uid_floors(header.uid_floors)
+    machine = pickle.loads(payload)
+    return machine
+
+
+# ----------------------------------------------------------------------
+# File interface
+# ----------------------------------------------------------------------
+def resolve_path(path: str, cycle: int) -> str:
+    """Expand a ``{cycle}`` placeholder in a checkpoint path template."""
+    return path.replace("{cycle}", str(cycle))
+
+
+def save(machine, path: str) -> str:
+    """Write ``machine`` to ``path`` atomically; returns the final path.
+
+    ``path`` may contain ``{cycle}``, replaced with the current
+    simulation time — ``ckpt-{cycle}.bin`` keeps every interval's
+    snapshot instead of overwriting one file.  The write goes to a
+    temporary sibling and is renamed into place, so a crash mid-write
+    never leaves a half-written checkpoint at the target path.
+    """
+    final = resolve_path(path, machine.sim.now)
+    data = snapshot_bytes(machine)
+    directory = os.path.dirname(final) or "."
+    os.makedirs(directory, exist_ok=True)
+    tmp = os.path.join(
+        directory, f".{os.path.basename(final)}.tmp.{os.getpid()}"
+    )
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    return final
+
+
+def load(path: str, allow_code_mismatch: bool = False):
+    """Read and restore a checkpoint written by :func:`save`."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    return restore_bytes(data, allow_code_mismatch=allow_code_mismatch)
+
+
+def peek(path: str) -> CheckpointHeader:
+    """Read only the header of a checkpoint file (no unpickling)."""
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read(65536)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    header, _ = _split(data, path)
+    return header
+
+
+# ----------------------------------------------------------------------
+# State fingerprint (test/debug aid)
+# ----------------------------------------------------------------------
+def fingerprint(machine) -> str:
+    """Digest of the machine's observable state.
+
+    Two machines that will behave identically from here on — an
+    uninterrupted run and its checkpoint-restored twin at the same
+    cycle — fingerprint equal.  Covers the clock, event count, live
+    queue size, every counter, and the per-controller transaction-engine
+    snapshots; used by the golden tests to compare mid-run states
+    without dumping full pickles.
+    """
+    state: Dict[str, Any] = {
+        "now": machine.sim.now,
+        "events": machine.sim.events_processed,
+        "pending": machine.sim.pending,
+        "counters": machine.registry.merged().snapshot(),
+    }
+    engines = {}
+    for ctrl in machine.controllers:
+        engine = getattr(ctrl, "engine", None)
+        if engine is not None:
+            active, queued = engine.snapshot()
+            engines[ctrl.name] = {
+                "active": sorted(repr(m) for m in active),
+                "queued": [repr(m) for m in queued],
+            }
+    state["engines"] = engines
+    blob = json.dumps(state, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -4,10 +4,19 @@ Commands:
 
 * ``run``      — simulate one machine and print results + audit verdict.
 * ``trace``    — simulate with full telemetry and export a Perfetto trace.
+* ``sweep``    — run a parameter grid (cached, optionally elastic).
 * ``tables``   — print the paper's Table 4-1 / Table 4-2 / thresholds.
 * ``topology`` — render the Figure 3-1 system for a configuration.
 * ``compare``  — run every protocol on one workload, tabulated.
 * ``check``    — exhaustive model check + differential conformance.
+
+The machine flags are **derived from** :class:`repro.api.Experiment` —
+every keyword argument of the facade becomes a ``--flag`` with the same
+name, default, and type (a short alias table preserves the historical
+spellings like ``-n``/``--refs``), so the CLI and the programmatic API
+cannot drift apart.  ``run`` supports ``--checkpoint-every`` /
+``--checkpoint-path`` / ``--resume`` (see ``docs/api.md``); ``sweep
+--elastic`` runs the crash-tolerant work-stealing pool.
 
 ``run`` and ``compare`` accept ``--metrics-out metrics.jsonl`` to dump
 per-outcome latency histograms, span-phase breakdowns, and time-series
@@ -18,21 +27,20 @@ samples (schema in ``docs/observability.md``); ``check`` accepts
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import List, Optional
 
 from repro.analysis.dubois_briggs import generate_table_4_2
 from repro.analysis.overhead_model import compare_table_4_1, generate_table_4_1
 from repro.analysis.thresholds import generate_threshold_table
-from repro.config import NETWORKS, MachineConfig, ProtocolOptions
-from repro.faults import CANNED_PLANS, FAULT_PROTOCOLS, attach_faults, parse_faults
+from repro.api import Experiment
+from repro.config import NETWORKS, MachineConfig
+from repro.faults import CANNED_PLANS, FAULT_PROTOCOLS, parse_faults
 from repro.core.spec import render_spec
 from repro.protocols import registry
 from repro.stats.tables import Table
-from repro.system.builder import build_machine
-from repro.system.topology import describe_machine, render_topology
 from repro.verification.audit import audit_machine
-from repro.workloads.synthetic import DuboisBriggsWorkload
 
 #: Canonical names + aliases, for CLI --protocol choice lists.
 PROTOCOL_CHOICES = tuple(
@@ -42,23 +50,67 @@ PROTOCOL_CHOICES = tuple(
     )
 )
 
+#: Experiment parameters with their own dedicated flags/handling.
+_SKIP_PARAMS = ("protocol", "faults", "sample_interval")
+
+#: Historical flag spellings; parameters not listed get ``--kebab-name``.
+_FLAG_ALIASES = {
+    "n_processors": ("-n", "--processors"),
+    "n_modules": ("-m", "--modules"),
+    "q": ("-q", "--sharing"),
+    "w": ("-w", "--write-frac"),
+    "refs_per_proc": ("--refs",),
+    "warmup_refs": ("--warmup",),
+    "translation_buffer_entries": ("--tbuf",),
+    "duplicate_directory": ("--dup-dir",),
+}
+
+_PARAM_HELP = {
+    "q": "probability a reference is to shared data",
+    "w": "probability a shared reference is a write",
+    "network": "interconnect (default: the protocol's preferred one)",
+    "refs_per_proc": "measured references per processor",
+    "warmup_refs": "warm-up references per processor (not measured)",
+    "translation_buffer_entries": "translation buffer entries (0 = off)",
+    "duplicate_directory": "enable the duplicate-directory enhancement",
+    "private_blocks_per_proc": "private pool blocks per processor",
+}
+
+
+def _machine_params():
+    """Keyword-only Experiment parameters the machine flags mirror."""
+    signature = inspect.signature(Experiment.__init__)
+    return {
+        name: param
+        for name, param in signature.parameters.items()
+        if param.kind is inspect.Parameter.KEYWORD_ONLY
+        and name not in _SKIP_PARAMS
+    }
+
+
+_MACHINE_PARAMS = _machine_params()
+
 
 def _add_machine_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("-n", "--processors", type=int, default=4)
-    parser.add_argument("-m", "--modules", type=int, default=2)
-    parser.add_argument("-q", "--sharing", type=float, default=0.05,
-                        help="probability a reference is to shared data")
-    parser.add_argument("-w", "--write-frac", type=float, default=0.2,
-                        help="probability a shared reference is a write")
-    parser.add_argument("--network", choices=NETWORKS, default="xbar")
-    parser.add_argument("--refs", type=int, default=3000,
-                        help="measured references per processor")
-    parser.add_argument("--warmup", type=int, default=500)
-    parser.add_argument("--seed", type=int, default=1984)
-    parser.add_argument("--tbuf", type=int, default=0,
-                        help="translation buffer entries (0 = off)")
-    parser.add_argument("--dup-dir", action="store_true",
-                        help="enable the duplicate-directory enhancement")
+    """One flag per Experiment parameter, same name/default/type."""
+    for name, param in _MACHINE_PARAMS.items():
+        flags = _FLAG_ALIASES.get(name, ("--" + name.replace("_", "-"),))
+        help_text = _PARAM_HELP.get(name)
+        default = param.default
+        if isinstance(default, bool):
+            parser.add_argument(
+                *flags, dest=name, action="store_true", help=help_text
+            )
+        elif name == "network":
+            parser.add_argument(
+                *flags, dest=name, choices=NETWORKS, default=None,
+                help=help_text,
+            )
+        else:
+            parser.add_argument(
+                *flags, dest=name, type=type(default), default=default,
+                help=help_text,
+            )
 
 
 def _add_faults_arg(parser: argparse.ArgumentParser) -> None:
@@ -92,6 +144,39 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                         help="time-series sampler window (0 = off)")
 
 
+def _experiment_from_args(
+    args: argparse.Namespace, protocol: Optional[str] = None
+) -> Experiment:
+    """Build the :class:`Experiment` a command's flags describe."""
+    protocol = registry.canonical_name(
+        protocol if protocol is not None else args.protocol
+    )
+    spec = _parse_faults_arg(args)
+    if spec is not None and protocol not in FAULT_PROTOCOLS:
+        raise SystemExit(
+            f"--faults: {protocol} has no NAK/retry recovery path; "
+            f"choose from {', '.join(FAULT_PROTOCOLS)}"
+        )
+    kwargs = {
+        name: getattr(args, name)
+        for name in _MACHINE_PARAMS
+        if hasattr(args, name)
+    }
+    network = kwargs.get("network")
+    if network is not None:
+        pspec = registry.resolve(protocol)
+        if network not in pspec.networks:
+            # e.g. a snooping protocol asked to run on the crossbar:
+            # fall back to its required network, as the CLI always has.
+            kwargs["network"] = pspec.default_network()
+    return Experiment(
+        protocol=protocol,
+        faults=spec,
+        sample_interval=getattr(args, "sample_interval", 200),
+        **kwargs,
+    )
+
+
 def _build_and_run(
     protocol: str,
     args: argparse.Namespace,
@@ -103,48 +188,17 @@ def _build_and_run(
     Returns ``(machine, obs)`` where ``obs`` is None unless
     ``instrument`` was requested (or the args carry ``--metrics-out``).
     """
-    from repro.obs import instrument_machine
-
-    protocol = registry.canonical_name(protocol)
-    workload = DuboisBriggsWorkload(
-        n_processors=args.processors,
-        q=args.sharing,
-        w=args.write_frac,
-        private_blocks_per_proc=128,
-        seed=args.seed,
+    experiment = _experiment_from_args(args, protocol)
+    machine, obs = experiment.build(
+        instrument=instrument or bool(getattr(args, "metrics_out", None)),
+        keep_events=keep_events,
     )
-    network = args.network
-    if protocol in ("write_once", "illinois") and network != "bus":
-        network = "bus"
-    config = MachineConfig(
-        n_processors=args.processors,
-        n_modules=args.modules,
-        n_blocks=workload.n_blocks,
-        protocol=protocol,
-        network=network,
-        seed=args.seed,
-        options=ProtocolOptions(
-            translation_buffer_entries=args.tbuf,
-            duplicate_directory=args.dup_dir,
-        ),
+    machine.run(
+        refs_per_proc=experiment.refs_per_proc,
+        warmup_refs=experiment.warmup_refs,
+        checkpoint_every=getattr(args, "checkpoint_every", 0),
+        checkpoint_path=getattr(args, "checkpoint_path", None),
     )
-    machine = build_machine(config, workload)
-    spec = _parse_faults_arg(args)
-    if spec is not None:
-        if protocol not in FAULT_PROTOCOLS:
-            raise SystemExit(
-                f"--faults: {protocol} has no NAK/retry recovery path; "
-                f"choose from {', '.join(FAULT_PROTOCOLS)}"
-            )
-        attach_faults(machine, spec)
-    obs = None
-    if instrument or getattr(args, "metrics_out", None):
-        obs = instrument_machine(
-            machine,
-            sample_interval=getattr(args, "sample_interval", 200),
-            keep_events=keep_events,
-        )
-    machine.run(refs_per_proc=args.refs, warmup_refs=args.warmup)
     return machine, obs
 
 
@@ -162,7 +216,36 @@ def _write_metrics(path: str, machine, obs, append: bool = False) -> None:
         write_jsonl(path, records)
 
 
+def _audit_verdict(machine) -> int:
+    report = audit_machine(machine)
+    if report.ok:
+        print("coherence audit: CLEAN")
+        return 0
+    print("coherence audit: FAILED")
+    for violation in report.violations[:10]:
+        print(f"  {violation}")
+    return 1
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.checkpoint_every and not (args.checkpoint_path or args.resume):
+        raise SystemExit("--checkpoint-every needs --checkpoint-path")
+    if args.resume:
+        from repro.api import resume
+        from repro.checkpoint import CheckpointError
+
+        try:
+            outcome = resume(
+                args.resume,
+                checkpoint_every=args.checkpoint_every,
+                allow_code_mismatch=args.allow_code_mismatch,
+                strict=False,
+            )
+        except CheckpointError as exc:
+            raise SystemExit(f"--resume: {exc}")
+        print(outcome.results.summary())
+        return _audit_verdict(outcome.machine)
+
     args.protocol = registry.canonical_name(args.protocol)
     machine, obs = _build_and_run(args.protocol, args)
     print(machine.results().summary())
@@ -194,14 +277,85 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("\nglobal-state occupancy (time-weighted, all blocks):")
             for state, fraction in occ.items():
                 print(f"  {state.name:<13} {fraction:.4f}")
-    report = audit_machine(machine)
-    if report.ok:
-        print("coherence audit: CLEAN")
-        return 0
-    print("coherence audit: FAILED")
-    for violation in report.violations[:10]:
-        print(f"  {violation}")
-    return 1
+    return _audit_verdict(machine)
+
+
+def _coerce_axis_value(name: str, text: str, base: dict):
+    """Parse one ``--axis`` value with the base parameter's type."""
+    current = base[name]
+    if isinstance(current, bool):
+        low = text.strip().lower()
+        if low in ("1", "true", "yes", "on"):
+            return True
+        if low in ("0", "false", "no", "off"):
+            return False
+        raise SystemExit(f"--axis {name}: not a boolean: {text!r}")
+    try:
+        if isinstance(current, int):
+            return int(text)
+        if isinstance(current, float):
+            return float(text)
+    except ValueError:
+        raise SystemExit(
+            f"--axis {name}: expected {type(current).__name__}, got {text!r}"
+        )
+    return text.strip()
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import SweepError
+
+    experiment = _experiment_from_args(args)
+    base = experiment.to_kwargs()
+    axes = {}
+    for item in args.axis:
+        name, sep, values = item.partition("=")
+        name = name.strip().replace("-", "_")
+        if not sep or not values:
+            raise SystemExit(f"--axis: expected NAME=V1,V2,... got {item!r}")
+        if name not in base:
+            raise SystemExit(
+                f"--axis: unknown experiment parameter {name!r} "
+                f"(choose from {', '.join(sorted(base))})"
+            )
+        axes[name] = [
+            _coerce_axis_value(name, value, base)
+            for value in values.split(",")
+        ]
+    if not axes:
+        raise SystemExit("sweep needs at least one --axis NAME=V1,V2,...")
+    try:
+        report = experiment.sweep(
+            axes,
+            workers=args.workers,
+            elastic=args.elastic,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            label=args.label,
+            max_retries=args.max_retries,
+            stall_timeout=args.stall_timeout,
+            verbose=args.verbose,
+        )
+    except SweepError as exc:
+        raise SystemExit(str(exc))
+    table = Table(
+        header=["point", "cmds/ref", "extra/ref", "miss", "latency"],
+        title=report.label,
+        precision=4,
+    )
+    for outcome in report.outcomes:
+        results = outcome.result
+        point = ", ".join(f"{k}={v}" for k, v in outcome.point.key)
+        table.add_row(
+            [point, results["commands_per_ref"],
+             results["extra_commands_per_ref"], results["miss_ratio"],
+             results["avg_latency"]]
+        )
+    print(table.render())
+    print(report.summary())
+    return 0
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
@@ -220,15 +374,19 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
+    from repro.system.builder import build_machine
+    from repro.system.topology import describe_machine, render_topology
+    from repro.workloads.synthetic import DuboisBriggsWorkload
+
     config = MachineConfig(
-        n_processors=args.processors,
-        n_modules=args.modules,
+        n_processors=args.n_processors,
+        n_modules=args.n_modules,
         network=args.network,
         protocol=registry.canonical_name(args.protocol),
     )
     if args.build:
         workload = DuboisBriggsWorkload(
-            n_processors=args.processors, private_blocks_per_proc=16
+            n_processors=args.n_processors, private_blocks_per_proc=16
         )
         machine = build_machine(
             config.with_(n_blocks=workload.n_blocks), workload
@@ -248,7 +406,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     table = Table(
         header=["protocol", "cmds/ref", "extra/ref", "stolen/ref",
                 "miss", "latency"],
-        title=f"n={args.processors} q={args.sharing} w={args.write_frac}",
+        title=f"n={args.n_processors} q={args.q} w={args.w}",
         precision=4,
     )
     reports = []
@@ -444,6 +602,18 @@ def make_parser() -> argparse.ArgumentParser:
     _add_machine_args(p_run)
     _add_faults_arg(p_run)
     _add_obs_args(p_run)
+    p_run.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="CYCLES",
+                       help="checkpoint the machine every N simulated "
+                       "cycles (needs --checkpoint-path)")
+    p_run.add_argument("--checkpoint-path", default=None, metavar="PATH",
+                       help="checkpoint file; may contain '{cycle}'")
+    p_run.add_argument("--resume", default=None, metavar="PATH",
+                       help="restore PATH and finish the interrupted run "
+                       "(bit-identical to an uninterrupted one)")
+    p_run.add_argument("--allow-code-mismatch", action="store_true",
+                       help="resume a checkpoint written by a different "
+                       "repro source tree (results may then differ)")
     p_run.set_defaults(fn=cmd_run)
 
     p_trace = sub.add_parser(
@@ -460,6 +630,49 @@ def make_parser() -> argparse.ArgumentParser:
     _add_obs_args(p_trace)
     p_trace.set_defaults(fn=cmd_trace)
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a parameter grid with caching (optionally elastic)",
+    )
+    p_sweep.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                         default="twobit")
+    _add_machine_args(p_sweep)
+    _add_faults_arg(p_sweep)
+    p_sweep.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="sweep axis over an Experiment parameter; repeatable "
+        "(e.g. --axis protocol=twobit,fullmap --axis q=0.01,0.05)",
+    )
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="worker processes (default: inline)")
+    p_sweep.add_argument("--elastic", action="store_true",
+                         help="crash-tolerant work-stealing pool: dead or "
+                         "stalled workers are replaced and their shards "
+                         "retried (resuming from shard checkpoints when "
+                         "--checkpoint-every is set)")
+    p_sweep.add_argument("--checkpoint-every", type=int, default=0,
+                         metavar="CYCLES",
+                         help="per-shard checkpoint cadence for elastic "
+                         "retries (0 = shards restart from scratch)")
+    p_sweep.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="where shard checkpoints live (default: a "
+                         "temporary directory)")
+    p_sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache directory (default: "
+                         ".sweep_cache or $REPRO_SWEEP_CACHE)")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="neither read nor write the result cache")
+    p_sweep.add_argument("--max-retries", type=int, default=2,
+                         help="retries per shard after worker death/stall")
+    p_sweep.add_argument("--stall-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="kill workers holding one shard longer than "
+                         "this (elastic only)")
+    p_sweep.add_argument("--label", default=None,
+                         help="sweep name for the summary/cache metadata")
+    p_sweep.add_argument("-v", "--verbose", action="store_true")
+    p_sweep.set_defaults(fn=cmd_sweep)
+
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument(
         "table", choices=("4-1", "4-2", "thresholds", "all"), nargs="?",
@@ -471,8 +684,10 @@ def make_parser() -> argparse.ArgumentParser:
 
     p_topo = sub.add_parser("topology", help="render Figure 3-1")
     p_topo.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="twobit")
-    p_topo.add_argument("-n", "--processors", type=int, default=4)
-    p_topo.add_argument("-m", "--modules", type=int, default=2)
+    p_topo.add_argument("-n", "--processors", dest="n_processors", type=int,
+                        default=4)
+    p_topo.add_argument("-m", "--modules", dest="n_modules", type=int,
+                        default=2)
     p_topo.add_argument("--network", choices=NETWORKS, default="xbar")
     p_topo.add_argument("--build", action="store_true",
                         help="assemble the machine and describe it fully")

@@ -30,7 +30,7 @@ from repro.interconnect.network import Network
 from repro.memory.module import MemoryModule
 from repro.protocols.base import AbstractMemoryController
 from repro.protocols.engine import TransactionEngine
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import SimClock, Simulator
 from repro.config import MachineConfig
 
 
@@ -75,7 +75,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
         opts = config.options
         self.directory = TwoBitDirectory(
             blocks=(b for b in range(config.n_blocks) if module.owns(b)),
-            clock=lambda: self.sim.now,
+            clock=SimClock(sim),
             keep_present1=opts.keep_present1,
         )
         self.directory.observer = self._state_changed

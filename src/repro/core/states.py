@@ -13,6 +13,11 @@ from enum import Enum
 from typing import Callable, Dict, Iterable, Optional
 
 
+def _zero_clock() -> int:
+    """Default stats clock (module-level so directories stay picklable)."""
+    return 0
+
+
 class GlobalState(Enum):
     """The four two-bit global states of §3.1."""
 
@@ -51,7 +56,7 @@ class TwoBitDirectory:
         clock: Optional[Callable[[], int]] = None,
         keep_present1: bool = True,
     ) -> None:
-        self._clock = clock if clock is not None else (lambda: 0)
+        self._clock = clock if clock is not None else _zero_clock
         self.keep_present1 = keep_present1
         #: Optional ``observer(block, old, new)`` invoked after each
         #: stored transition (the controller routes it to ``repro.obs``).

@@ -61,6 +61,15 @@ class AddressMap:
             return block % self.n_modules
         return min(block // self._blocks_per_module, self.n_modules - 1)
 
+    def home_name(self, block: int) -> str:
+        """Endpoint name of the controller owning ``block``.
+
+        Passed to the cache controllers as their ``home_fn``; a bound
+        method of a plain-data object, so the wired machine stays
+        picklable for checkpointing.
+        """
+        return f"ctrl{self.home(block)}"
+
     def blocks_of(self, module: int) -> range:
         """Iterable of the blocks homed at ``module`` (BLOCKED) or a
         stride range (LOW_ORDER)."""

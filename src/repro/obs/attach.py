@@ -59,27 +59,65 @@ def instrument_machine(
     return obs
 
 
+class _AttrGauge:
+    """Picklable gauge reading one attribute of one object.
+
+    Sampler probes used to be lambdas closing over components; the
+    checkpoint subsystem deep-pickles the machine (hub and samplers
+    included), so every stored probe must pickle.
+    """
+
+    __slots__ = ("obj", "attr")
+
+    def __init__(self, obj, attr: str) -> None:
+        self.obj = obj
+        self.attr = attr
+
+    def __call__(self):
+        return getattr(self.obj, self.attr)
+
+
+class _CounterGauge:
+    """Picklable gauge reading one cumulative counter."""
+
+    __slots__ = ("counters", "key")
+
+    def __init__(self, counters, key: str) -> None:
+        self.counters = counters
+        self.key = key
+
+    def __call__(self):
+        return self.counters.get(self.key)
+
+
+class _MemBacklogGauge:
+    """Cycles of reserved memory time still ahead of the clock."""
+
+    __slots__ = ("ctrl", "sim")
+
+    def __init__(self, ctrl, sim) -> None:
+        self.ctrl = ctrl
+        self.sim = sim
+
+    def __call__(self):
+        return max(0, self.ctrl._mem_free_at - self.sim.now)
+
+
 def _system_sampler(machine, obs: Observability, interval: int):
     sim = machine.sim
     net = machine.network
     gauges = {
-        "outstanding_refs": lambda: obs.outstanding,
+        "outstanding_refs": _AttrGauge(obs, "outstanding"),
     }
     for ctrl in machine.controllers:
         engine = getattr(ctrl, "engine", None)
         if engine is not None:
-            gauges[f"{ctrl.name}.active"] = (
-                lambda e=engine: e.n_active
-            )
-            gauges[f"{ctrl.name}.queued"] = (
-                lambda e=engine: e.n_queued
-            )
+            gauges[f"{ctrl.name}.active"] = _AttrGauge(engine, "n_active")
+            gauges[f"{ctrl.name}.queued"] = _AttrGauge(engine, "n_queued")
         if hasattr(ctrl, "_mem_free_at"):
-            gauges[f"{ctrl.name}.mem_backlog"] = (
-                lambda c=ctrl: max(0, c._mem_free_at - sim.now)
-            )
+            gauges[f"{ctrl.name}.mem_backlog"] = _MemBacklogGauge(ctrl, sim)
     rates = {
-        name: (lambda n=name: net.counters.get(n)) for name in _NET_RATES
+        name: _CounterGauge(net.counters, name) for name in _NET_RATES
     }
     return TimeSeriesSampler(
         name="system",

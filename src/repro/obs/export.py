@@ -181,9 +181,21 @@ def write_chrome_trace(path, obs: Observability) -> int:
 def metrics_records(
     obs: Observability, run_info: Optional[Dict[str, Any]] = None
 ) -> List[Dict[str, Any]]:
-    """Flatten ``obs`` into JSONL-ready metric records (see module doc)."""
+    """Flatten ``obs`` into JSONL-ready metric records (see module doc).
+
+    The leading ``run`` record is stamped with the shared results
+    :data:`~repro.schema.SCHEMA_VERSION` so downstream consumers can
+    refuse layouts they don't understand (see :mod:`repro.schema`).
+    """
+    from repro.schema import SCHEMA_VERSION
+
     records: List[Dict[str, Any]] = [
-        {"record": "run", "protocol": obs.protocol, **(run_info or {})}
+        {
+            "record": "run",
+            "schema_version": SCHEMA_VERSION,
+            "protocol": obs.protocol,
+            **(run_info or {}),
+        }
     ]
     for outcome in sorted(obs.latency):
         records.append(

@@ -72,19 +72,24 @@ def _directory_caches(ctx: BuildContext, cache_cls) -> list:
     ]
 
 
-def _assemble_twobit(ctx: BuildContext) -> Assembly:
-    from repro.core.controller import TwoBitDirectoryController
-    from repro.protocols.cache_side import DirectoryCacheController
+class _CacheHoldersFn:
+    """Ground truth for the forced-hit translation buffer.
 
-    caches = _directory_caches(ctx, DirectoryCacheController)
+    Must be conservative: include caches whose fill for the block is in
+    flight (they are owners from the directory's point of view) —
+    missing one would skip a required invalidation.  A class, not a
+    closure over the cache list, so the wired machine deep-pickles for
+    checkpointing.
+    """
 
-    def holders_fn(block: int) -> Set[int]:
-        # Ground truth for the forced-hit translation buffer.  Must be
-        # conservative: include caches whose fill for the block is in
-        # flight (they are owners from the directory's point of view) —
-        # missing one would skip a required invalidation.
+    __slots__ = ("caches",)
+
+    def __init__(self, caches: list) -> None:
+        self.caches = caches
+
+    def __call__(self, block: int) -> Set[int]:
         holders = set()
-        for cache in caches:
+        for cache in self.caches:
             if cache.holds(block) is not None or block in cache.wb_buffer:
                 holders.add(cache.pid)
             elif (
@@ -94,10 +99,16 @@ def _assemble_twobit(ctx: BuildContext) -> Assembly:
                 holders.add(cache.pid)
         return holders
 
+
+def _assemble_twobit(ctx: BuildContext) -> Assembly:
+    from repro.core.controller import TwoBitDirectoryController
+    from repro.protocols.cache_side import DirectoryCacheController
+
+    caches = _directory_caches(ctx, DirectoryCacheController)
     controllers = [
         TwoBitDirectoryController(
             ctx.sim, i, ctx.config, ctx.net, module,
-            ctx.config.n_processors, holders_fn=holders_fn,
+            ctx.config.n_processors, holders_fn=_CacheHoldersFn(caches),
         )
         for i, module in enumerate(ctx.modules)
     ]

@@ -31,6 +31,7 @@ from typing import Dict, Optional
 
 from repro.core.states import GlobalState, TwoBitDirectory
 from repro.interconnect.message import Message, MessageKind
+from repro.sim.kernel import SimClock
 from repro.protocols.classical import (
     ClassicalCacheController,
     ClassicalMemoryController,
@@ -99,7 +100,7 @@ class WTFilterMemoryController(ClassicalMemoryController):
         super().__init__(sim, index, config, net, module, oracle)
         self.directory = TwoBitDirectory(
             blocks=(b for b in range(config.n_blocks) if module.owns(b)),
-            clock=lambda: self.sim.now,
+            clock=SimClock(sim),
             keep_present1=config.options.keep_present1,
         )
         #: (cache name, block) -> revoked eviction-notice uid.

@@ -13,6 +13,7 @@ from repro.runner.cache import (
     code_version,
     default_cache_dir,
 )
+from repro.runner.elastic import run_sweep_elastic
 from repro.runner.seeds import derive_seed
 from repro.runner.sweep import (
     PointOutcome,
@@ -35,4 +36,5 @@ __all__ = [
     "default_cache_dir",
     "derive_seed",
     "run_sweep",
+    "run_sweep_elastic",
 ]

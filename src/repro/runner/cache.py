@@ -138,21 +138,34 @@ class ResultCache:
         Corrupt bytes can raise nearly anything out of ``pickle.load``
         (truncated streams, garbage that happens to form opcodes, stale
         classes), so any failure to load and extract counts as a miss —
-        a damaged cache must cost re-simulation, never a crash.
+        a damaged cache must cost re-simulation, never a crash.  An
+        entry that loads *cleanly* but was written under a different
+        results schema is a different story: serving it would silently
+        hand back a stale layout, so it raises
+        :class:`~repro.schema.SchemaMismatchError` instead (see
+        :mod:`repro.schema`).
         """
+        from repro.schema import check_schema
+
         path = self._path(key)
         try:
             with path.open("rb") as fh:
                 entry = pickle.load(fh)
-            return True, entry["result"]
+            result = entry["result"]
+            found = entry.get("schema_version")
         except Exception:
             return False, None
+        check_schema(found, f"sweep cache entry {path.name}")
+        return True, result
 
     def put(self, key: str, result: Any, meta: Optional[Dict[str, Any]] = None) -> None:
         """Store ``result`` atomically (write-to-temp, rename)."""
+        from repro.schema import SCHEMA_VERSION
+
         self.directory.mkdir(parents=True, exist_ok=True)
         entry = {
             "result": result,
+            "schema_version": SCHEMA_VERSION,
             "version": self.version,
             "created": time.time(),
             **(meta or {}),

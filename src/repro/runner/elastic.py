@@ -1,0 +1,382 @@
+"""Elastic (work-stealing, crash-tolerant) sweep execution.
+
+:func:`run_sweep_elastic` runs the same grids as
+:func:`~repro.runner.sweep.run_sweep`, but through a supervised worker
+pool built directly on :mod:`multiprocessing` rather than a
+``ProcessPoolExecutor`` — a killed executor worker poisons every
+outstanding future with ``BrokenProcessPool``, while a supervised pool
+can treat worker death as an ordinary event:
+
+* **work stealing** — idle workers pull the next pending index from the
+  supervisor, so a fast worker drains the tail instead of idling behind
+  a static partition;
+* **crash recovery** — a worker that dies (OOM kill, segfault, operator
+  ``kill -9``) has its task requeued, up to ``max_retries`` times, and a
+  replacement worker is spawned to keep the pool at strength;
+* **stall recovery** — a task holding a worker longer than
+  ``stall_timeout`` seconds is presumed hung; the worker is killed and
+  the task requeued like a crash;
+* **checkpoint resume** — when ``checkpoint_every`` is set, each point
+  whose function accepts ``checkpoint_every`` / ``checkpoint_path``
+  kwargs (e.g. :func:`repro.api.run_point`) is given a per-shard
+  checkpoint file; a retried task resumes from its last checkpoint
+  instead of recomputing from cycle zero.
+
+Results, caching and determinism are identical to the plain sweep: the
+cache key is computed over the *original* point kwargs (the injected
+checkpoint kwargs are execution detail, not identity), so elastic and
+plain runs share cache entries, and per-point seeds make the results
+independent of worker count, stealing order, or how many times a shard
+was retried.
+
+A point function that *raises* is a bug in the point, not an
+infrastructure failure; it aborts the sweep with
+:class:`~repro.runner.sweep.SweepError` exactly as ``run_sweep`` does —
+retries are reserved for process death and stalls.
+
+Transport notes (why pipes, not queues): this pool must survive
+``SIGKILL`` at *any* instant, and ``multiprocessing.Queue`` cannot — its
+write lock is a cross-process semaphore taken by a background feeder
+thread, so a worker killed mid-flush orphans the lock and every other
+worker's ``put`` blocks forever.  Each worker therefore gets its own
+duplex :func:`multiprocessing.Pipe` (single writer per direction, no
+shared locks, no feeder thread); the supervisor multiplexes them with
+:func:`multiprocessing.connection.wait`, and a worker killed mid-send
+surfaces as ``EOFError`` on the parent end rather than a deadlock.
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.sweep import (
+    PointOutcome,
+    SweepError,
+    SweepPoint,
+    SweepReport,
+    _execute,
+    _record,
+    _unwrap,
+)
+
+#: Supervisor wake-up interval (seconds): bounds how quickly worker
+#: death / stalls are noticed without spinning.
+_HEARTBEAT = 0.05
+
+
+def _mp_context():
+    # fork keeps already-imported bench modules importable in workers
+    # (their functions pickle by reference); fall back where unavailable.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def _accepts_checkpoint(fn) -> bool:
+    """Whether ``fn`` can take the injected checkpoint kwargs."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return False
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    ):
+        return True
+    return "checkpoint_every" in params and "checkpoint_path" in params
+
+
+def _elastic_worker(conn) -> None:
+    """Worker loop: receive a task on ``conn``, run it, report, repeat.
+
+    Tasks are *dispatched* by the supervisor over the per-worker pipe
+    rather than stolen from a shared queue: a SIGKILLed process can lose
+    any message still buffered on its side, so worker self-reports ("I
+    took task i") are unreliable exactly when they matter.  With
+    supervisor-side dispatch the parent always knows which task a dead
+    worker held, from its own records.  A lost "done" (the worker was
+    killed after finishing, before the bytes hit the pipe) only costs a
+    redundant re-execution — results are deterministic, so the retry
+    reproduces the same value.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent gone
+            return
+        if item is None:
+            conn.close()
+            return
+        idx, fn, kwargs = item
+        try:
+            value, elapsed = _execute(fn, kwargs)
+        except BaseException:
+            conn.send(("error", idx, traceback.format_exc()))
+        else:
+            conn.send(("done", idx, (value, elapsed)))
+
+
+class _Pool:
+    """The supervised worker set (internal to :func:`run_sweep_elastic`)."""
+
+    def __init__(self, ctx, n_workers):
+        self.ctx = ctx
+        self.procs: Dict[int, Any] = {}
+        self.conns: Dict[int, Any] = {}  # pid -> parent pipe end
+        self.pid_by_conn: Dict[Any, int] = {}
+        self.idle: List[int] = []
+        for _ in range(n_workers):
+            self.spawn()
+
+    def spawn(self) -> None:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        proc = self.ctx.Process(
+            target=_elastic_worker, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        # Drop the parent's copy of the child end immediately, so the
+        # worker's death closes the last handle and the parent sees EOF.
+        child_conn.close()
+        self.procs[proc.pid] = proc
+        self.conns[proc.pid] = parent_conn
+        self.pid_by_conn[parent_conn] = proc.pid
+        self.idle.append(proc.pid)
+
+    def dispatch(self, pid: int, idx: int, fn, kwargs) -> None:
+        self.idle.remove(pid)
+        self.conns[pid].send((idx, fn, kwargs))
+
+    def mark_idle(self, pid: int) -> None:
+        if pid in self.procs and pid not in self.idle:
+            self.idle.append(pid)
+
+    def wait(self, timeout: float) -> List[Any]:
+        """Pipe ends with data (or EOF) ready, after at most ``timeout``."""
+        if not self.conns:  # pragma: no cover - transient only
+            time.sleep(timeout)
+            return []
+        return list(
+            mp_connection.wait(list(self.conns.values()), timeout=timeout)
+        )
+
+    def reap_dead(self) -> List[int]:
+        """Join and drop exited workers; returns their pids."""
+        dead = [pid for pid, p in self.procs.items() if not p.is_alive()]
+        for pid in dead:
+            self.procs.pop(pid).join()
+            conn = self.conns.pop(pid)
+            self.pid_by_conn.pop(conn, None)
+            conn.close()
+            if pid in self.idle:
+                self.idle.remove(pid)
+        return dead
+
+    def kill(self, pid: int) -> None:
+        proc = self.procs.get(pid)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+
+    def shutdown(self) -> None:
+        for conn in self.conns.values():
+            try:
+                conn.send(None)
+            except (OSError, ValueError):  # pragma: no cover - worker gone
+                pass
+        for proc in self.procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs.values():
+            proc.join()
+        for conn in self.conns.values():
+            conn.close()
+        self.procs.clear()
+        self.conns.clear()
+        self.pid_by_conn.clear()
+        self.idle.clear()
+
+
+def run_sweep_elastic(
+    points: Sequence[SweepPoint],
+    workers: int = 2,
+    cache_dir: Optional[Any] = None,
+    use_cache: bool = True,
+    label: str = "sweep",
+    verbose: bool = False,
+    checkpoint_every: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    max_retries: int = 2,
+    stall_timeout: Optional[float] = None,
+) -> SweepReport:
+    """Run a sweep on the elastic pool; see the module docstring.
+
+    Args:
+        points: the sweep cells; order is preserved in the report.
+        workers: pool size, kept constant (crashed workers are replaced).
+        cache_dir / use_cache / label / verbose: as in ``run_sweep``.
+        checkpoint_every: cycle interval for per-shard machine
+            checkpoints (0 = shards restart from scratch on retry).
+            Only applied to point functions that accept the
+            ``checkpoint_every``/``checkpoint_path`` kwargs.
+        checkpoint_dir: where shard checkpoints live; a temporary
+            directory is created (and cleaned per-shard on completion)
+            when omitted.
+        max_retries: how many times one shard may be retried after
+            worker death/stall before the sweep fails.
+        stall_timeout: seconds a shard may hold a worker before it is
+            presumed hung and its worker killed (None = no stall check).
+
+    Raises:
+        SweepError: a point function raised, or a shard exhausted its
+            retries.
+    """
+    started = time.perf_counter()
+    cache = (
+        ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+        if use_cache
+        else None
+    )
+
+    outcomes: List[Optional[PointOutcome]] = [None] * len(points)
+    pending: List[int] = []
+    for i, point in enumerate(points):
+        if cache is not None:
+            # Keyed on the original kwargs only: elastic and plain
+            # sweeps share cache entries.
+            hit, value = cache.get(cache.key_for(point.fn, point.kwargs))
+            if hit:
+                value, metrics = _unwrap(value)
+                outcomes[i] = PointOutcome(
+                    point, value, cached=True, elapsed=0.0, metrics=metrics
+                )
+                if verbose:
+                    print(f"[sweep {label}] {point.label}: cached")
+                continue
+        pending.append(i)
+
+    n_workers = max(1, int(workers))
+    total_retries = 0
+    if pending:
+        if checkpoint_every and checkpoint_dir is None:
+            checkpoint_dir = tempfile.mkdtemp(prefix="repro-elastic-")
+        shard_paths: Dict[int, str] = {}
+        tasks: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+        for i in pending:
+            point = points[i]
+            kwargs = dict(point.kwargs)
+            if checkpoint_every and _accepts_checkpoint(point.fn):
+                path = os.path.join(checkpoint_dir, f"shard-{i}.ckpt")
+                kwargs["checkpoint_every"] = checkpoint_every
+                kwargs["checkpoint_path"] = path
+                shard_paths[i] = path
+            tasks[i] = (point.fn, kwargs)
+
+        ctx = _mp_context()
+        pool = _Pool(ctx, min(n_workers, len(pending)))
+        backlog: List[int] = list(pending)  # indices awaiting a worker
+        owner: Dict[int, int] = {}  # worker pid -> task index
+        started_at: Dict[int, float] = {}  # worker pid -> wall clock
+        retries: Dict[int, int] = {}
+        remaining = len(pending)
+        try:
+            while remaining:
+                # Dispatch: idle workers pull from the front of the
+                # backlog — work stealing, mediated by the supervisor so
+                # ownership is always known parent-side.
+                while backlog and pool.idle:
+                    idx = backlog.pop(0)
+                    pid = pool.idle[0]
+                    pool.dispatch(pid, idx, *tasks[idx])
+                    owner[pid] = idx
+                    started_at[pid] = time.monotonic()
+
+                for conn in pool.wait(_HEARTBEAT):
+                    pid = pool.pid_by_conn.get(conn)
+                    if pid is None:  # pragma: no cover - already reaped
+                        continue
+                    try:
+                        kind, idx, payload = conn.recv()
+                    except (EOFError, OSError):
+                        continue  # dead worker; reap_dead handles it
+                    if kind == "error":
+                        raise SweepError(
+                            f"sweep {label!r} point {points[idx].label!r} "
+                            f"failed:\n{payload}"
+                        )
+                    if owner.get(pid) == idx:
+                        del owner[pid]
+                        started_at.pop(pid, None)
+                        pool.mark_idle(pid)
+                    if outcomes[idx] is None:
+                        # (A stale duplicate — the task was requeued but
+                        # its first execution finished anyway — would be
+                        # dropped here.)
+                        value, elapsed = payload
+                        outcomes[idx] = _record(
+                            points[idx], value, elapsed, cache, label,
+                            verbose,
+                        )
+                        remaining -= 1
+                        path = shard_paths.get(idx)
+                        if path is not None and os.path.exists(path):
+                            os.remove(path)
+
+                for pid in pool.reap_dead():
+                    idx = owner.pop(pid, None)
+                    started_at.pop(pid, None)
+                    if idx is None or outcomes[idx] is not None:
+                        if remaining:
+                            pool.spawn()
+                        continue
+                    retries[idx] = retries.get(idx, 0) + 1
+                    total_retries += 1
+                    if retries[idx] > max_retries:
+                        raise SweepError(
+                            f"sweep {label!r} point {points[idx].label!r}: "
+                            f"worker died {retries[idx]} times "
+                            f"(max_retries={max_retries})"
+                        )
+                    if verbose:
+                        resume = (
+                            "resuming from checkpoint"
+                            if shard_paths.get(idx)
+                            and os.path.exists(shard_paths[idx])
+                            else "restarting"
+                        )
+                        print(
+                            f"[sweep {label}] {points[idx].label}: worker "
+                            f"{pid} died, {resume} "
+                            f"(retry {retries[idx]}/{max_retries})"
+                        )
+                    backlog.append(idx)
+                    pool.spawn()
+
+                if stall_timeout is not None:
+                    now = time.monotonic()
+                    for pid in list(owner):
+                        if now - started_at.get(pid, now) > stall_timeout:
+                            # Killed workers surface via reap_dead above.
+                            pool.kill(pid)
+        finally:
+            pool.shutdown()
+
+    done: List[PointOutcome] = [o for o in outcomes if o is not None]
+    assert len(done) == len(points)
+    report = SweepReport(
+        label=label,
+        outcomes=done,
+        workers=n_workers,
+        elapsed=time.perf_counter() - started,
+        cache_dir=str(cache.directory) if cache is not None else None,
+        retries=total_retries,
+    )
+    if verbose:
+        print(report.summary())
+    return report

@@ -93,6 +93,8 @@ class SweepReport:
     workers: int
     elapsed: float
     cache_dir: Optional[str]
+    #: Worker-death/stall retries performed (elastic sweeps only).
+    retries: int = 0
 
     @property
     def results(self) -> List[Any]:
@@ -121,10 +123,12 @@ class SweepReport:
 
     def summary(self) -> str:
         cache = self.cache_dir if self.cache_dir else "off"
+        retries = f", {self.retries} retries" if self.retries else ""
         return (
             f"[sweep {self.label}] {len(self.outcomes)} points: "
             f"{self.cache_hits} cached, {self.executed} executed "
-            f"({self.workers} workers, {self.elapsed:.2f}s, cache={cache})"
+            f"({self.workers} workers, {self.elapsed:.2f}s, "
+            f"cache={cache}{retries})"
         )
 
 

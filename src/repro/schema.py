@@ -1,0 +1,41 @@
+"""Results-schema versioning shared by every persisted artifact.
+
+Three subsystems write simulation results to disk — the sweep result
+cache (:mod:`repro.runner.cache`), the metrics JSONL exporter
+(:mod:`repro.obs.export`), and the checkpoint files
+(:mod:`repro.checkpoint`).  They all stamp their payloads with the same
+:data:`SCHEMA_VERSION` and refuse to load a payload stamped with a
+different one: silently reinterpreting an old layout is how stale
+numbers end up in tables, so a mismatch is a loud
+:class:`SchemaMismatchError`, never a guess.
+
+Bump :data:`SCHEMA_VERSION` whenever the shape of
+``SimulationResults.to_dict()`` (or any of the persisted envelopes
+around it) changes incompatibly.
+"""
+
+from __future__ import annotations
+
+#: Version of the persisted results layout (see module docstring).
+SCHEMA_VERSION = 1
+
+__all__ = ["SCHEMA_VERSION", "SchemaMismatchError", "check_schema"]
+
+
+class SchemaMismatchError(RuntimeError):
+    """A persisted artifact was written under a different schema."""
+
+    def __init__(self, found: object, context: str) -> None:
+        super().__init__(
+            f"{context}: schema_version {found!r} does not match this "
+            f"build's {SCHEMA_VERSION}; regenerate the artifact (old "
+            f"layouts are never reinterpreted silently)"
+        )
+        self.found = found
+        self.context = context
+
+
+def check_schema(found: object, context: str) -> None:
+    """Raise :class:`SchemaMismatchError` unless ``found`` matches."""
+    if found != SCHEMA_VERSION:
+        raise SchemaMismatchError(found, context)

@@ -37,6 +37,25 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, runaway runs)."""
 
 
+class SimClock:
+    """Picklable ``() -> sim.now`` callable.
+
+    Components that need a clock hook (e.g. the directory's
+    time-in-state accounting) must not close over the simulator with a
+    lambda — checkpointing pickles the whole machine graph, and lambdas
+    don't pickle.  A ``SimClock`` carries the simulator reference as
+    plain state instead.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+
+    def __call__(self) -> int:
+        return self.sim.now
+
+
 class Event:
     """A cancellable scheduled callback.
 
@@ -240,6 +259,7 @@ class Simulator:
         self,
         until: Optional[int] = None,
         max_events: Optional[int] = None,
+        advance_clock: bool = True,
     ) -> None:
         """Drain the event queue.
 
@@ -250,6 +270,11 @@ class Simulator:
                 :class:`SimulationError` as soon as an event beyond this
                 count is about to run (catches protocol livelock).  At
                 most ``max_events`` events execute.
+            advance_clock: when False and the queue drains before
+                ``until``, leave ``now`` at the last executed event
+                instead of advancing it to ``until``.  Checkpoint-sliced
+                runs use this so a run split into windows finishes with
+                exactly the same clock as an uninterrupted one.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
@@ -303,7 +328,7 @@ class Simulator:
                     head[4](*head[5])
                     self._events_processed += 1
                     executed += 1
-            if until is not None and until > self.now:
+            if advance_clock and until is not None and until > self.now:
                 self.now = until
         finally:
             self._running = False

@@ -59,7 +59,9 @@ def build_machine(config: MachineConfig, workload: Workload) -> Machine:
         for i in range(config.n_modules)
     ]
     net = build_network(sim, config)
-    home_fn: Callable[[int], str] = lambda block: f"ctrl{amap.home(block)}"
+    # A bound method, not a lambda: the wired machine must deep-pickle
+    # for checkpoint/restore.
+    home_fn: Callable[[int], str] = amap.home_name
 
     spec = registry.resolve(config.protocol)
     ctx = registry.BuildContext(

@@ -46,6 +46,27 @@ class SimulationResults:
     writebacks: int
     totals: Dict[str, float] = field(default_factory=dict)
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for persistence, stamped with the shared
+        results :data:`~repro.schema.SCHEMA_VERSION` (see
+        :mod:`repro.schema`)."""
+        from dataclasses import asdict
+
+        from repro.schema import SCHEMA_VERSION
+
+        out = asdict(self)
+        out["schema_version"] = SCHEMA_VERSION
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "SimulationResults":
+        """Inverse of :meth:`to_dict`; loud on schema mismatch."""
+        from repro.schema import check_schema
+
+        data = dict(raw)
+        check_schema(data.pop("schema_version", None), "SimulationResults")
+        return cls(**data)  # type: ignore[arg-type]
+
     def summary(self) -> str:
         lines = [
             f"protocol={self.protocol} n={self.n_processors} "
@@ -80,6 +101,10 @@ class Machine:
     registry: CounterRegistry
     #: Attached :class:`repro.faults.FaultInjector` (None = fault-free).
     faults: Optional[object] = None
+    #: Livelock-guard budget left in the current phase.  Persisted so a
+    #: checkpoint-restored machine resumes with the same remaining
+    #: budget an uninterrupted run would have at that point.
+    _guard_remaining: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Execution
@@ -89,21 +114,93 @@ class Machine:
         refs_per_proc: int,
         warmup_refs: int = 0,
         max_events_per_ref: int = 400,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
     ) -> None:
-        """Run a warm-up phase (optional) then a measurement window."""
+        """Run a warm-up phase (optional) then a measurement window.
+
+        Args:
+            refs_per_proc: measurement-window references per processor.
+            warmup_refs: optional warm-up references per processor; the
+                warm-up phase is never checkpointed (counters are reset
+                at its end anyway).
+            max_events_per_ref: livelock-guard budget per reference.
+            checkpoint_every: checkpoint the whole machine every this
+                many cycles during the measurement window (0 = never).
+            checkpoint_path: where to write checkpoints; may contain
+                ``{cycle}``.  Required when ``checkpoint_every`` is set.
+        """
+        if checkpoint_every and not checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         if warmup_refs:
             self._run_phase(warmup_refs, max_events_per_ref)
             self.reset_measurement()
-        self._run_phase(refs_per_proc, max_events_per_ref)
+        self._run_phase(
+            refs_per_proc,
+            max_events_per_ref,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
 
-    def _run_phase(self, refs_per_proc: int, max_events_per_ref: int) -> None:
+    def continue_run(
+        self,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> None:
+        """Finish an interrupted phase (after a checkpoint restore).
+
+        Drains the event queue exactly as the original :meth:`run` would
+        have, optionally continuing to checkpoint at the same cadence.
+        A machine restored from mid-run plus ``continue_run()`` is
+        bit-identical to one that was never interrupted.
+        """
+        if checkpoint_every and not checkpoint_path:
+            raise ValueError("checkpoint_every requires checkpoint_path")
+        self._drain_phase(checkpoint_every, checkpoint_path)
+
+    def _run_phase(
+        self,
+        refs_per_proc: int,
+        max_events_per_ref: int,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+    ) -> None:
         for proc in self.processors:
             proc.budget += refs_per_proc
             proc.resume()
-        guard = (
+        self._guard_remaining = (
             max_events_per_ref * refs_per_proc * self.config.n_processors + 100_000
         )
-        self.sim.run(max_events=guard)
+        self._drain_phase(checkpoint_every, checkpoint_path)
+
+    def _drain_phase(
+        self, checkpoint_every: int, checkpoint_path: Optional[str]
+    ) -> None:
+        sim = self.sim
+        guard = self._guard_remaining
+        if not checkpoint_every:
+            before = sim.events_processed
+            sim.run(max_events=guard)
+            if guard is not None:
+                self._guard_remaining = guard - (sim.events_processed - before)
+            self._assert_drained()
+            return
+        from repro import checkpoint as _checkpoint
+
+        while sim.pending:
+            target = sim.now + checkpoint_every
+            before = sim.events_processed
+            # advance_clock=False: if the queue drains inside this
+            # window, the clock must stay at the last event — sliced and
+            # uninterrupted runs end with identical ``cycles``.
+            sim.run(
+                until=target, max_events=self._guard_remaining,
+                advance_clock=False,
+            )
+            if self._guard_remaining is not None:
+                self._guard_remaining -= sim.events_processed - before
+            if sim.pending and checkpoint_path:
+                _checkpoint.save(self, checkpoint_path)
         self._assert_drained()
 
     def _assert_drained(self) -> None:

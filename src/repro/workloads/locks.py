@@ -95,9 +95,7 @@ class LockContentionWorkload(Workload):
     # ------------------------------------------------------------------
     # Streams
     # ------------------------------------------------------------------
-    def stream(self, pid: int) -> Iterator[MemRef]:
-        if not 0 <= pid < self.n_processors:
-            raise ValueError(f"pid {pid} out of range")
+    def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         return self._generate(pid)
 
     def _generate(self, pid: int) -> Iterator[MemRef]:

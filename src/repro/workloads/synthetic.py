@@ -28,14 +28,67 @@ from repro.workloads.reference import MemRef, Op
 _STREAM_CACHE_MAX = 1 << 16
 
 
+class ReplayableStream:
+    """Picklable iterator over a workload's pure ``(seed, pid)`` stream.
+
+    Processors hold their reference streams for the lifetime of a run,
+    and checkpointing deep-pickles the whole machine — but generators
+    don't pickle.  This wrapper counts the references it has yielded;
+    pickling stores only ``(workload, pid, position)`` and restoring
+    re-derives the underlying stream and fast-forwards to the recorded
+    position (streams are pure functions of their workload's seed, so
+    the resumed sequence is identical).
+    """
+
+    __slots__ = ("workload", "pid", "position", "_it")
+
+    def __init__(self, workload: "Workload", pid: int) -> None:
+        self.workload = workload
+        self.pid = pid
+        self.position = 0
+        self._it = workload._raw_stream(pid)
+
+    def __iter__(self) -> "ReplayableStream":
+        return self
+
+    def __next__(self) -> MemRef:
+        it = self._it
+        if it is None:
+            it = self._restore()
+        ref = next(it)
+        self.position += 1
+        return ref
+
+    def _restore(self) -> Iterator[MemRef]:
+        it = self.workload._raw_stream(self.pid)
+        for _ in range(self.position):
+            next(it)
+        self._it = it
+        return it
+
+    def __getstate__(self):
+        return (self.workload, self.pid, self.position)
+
+    def __setstate__(self, state) -> None:
+        self.workload, self.pid, self.position = state
+        self._it = None
+
+
 class Workload(ABC):
     """A per-processor infinite reference stream factory."""
 
     n_processors: int
 
-    @abstractmethod
     def stream(self, pid: int) -> Iterator[MemRef]:
-        """Infinite iterator of references for processor ``pid``."""
+        """Position-tracking (and hence checkpointable) iterator of
+        references for processor ``pid``."""
+        if not 0 <= pid < self.n_processors:
+            raise ValueError(f"pid {pid} out of range")
+        return ReplayableStream(self, pid)
+
+    @abstractmethod
+    def _raw_stream(self, pid: int) -> Iterator[MemRef]:
+        """The underlying reference iterator (may be a generator)."""
 
     def take(self, pid: int, count: int) -> List[MemRef]:
         """First ``count`` references of processor ``pid``'s stream."""
@@ -137,7 +190,7 @@ class DuboisBriggsWorkload(Workload):
     # ------------------------------------------------------------------
     # Stream generation
     # ------------------------------------------------------------------
-    def stream(self, pid: int) -> Iterator[MemRef]:
+    def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         """Infinite iterator of references for processor ``pid``.
 
         Streams are a pure function of ``(seed, pid)``, so the generated
@@ -149,8 +202,6 @@ class DuboisBriggsWorkload(Workload):
         past the cap re-derives its own tail generator (one-time
         fast-forward cost, identical sequence).
         """
-        if not 0 <= pid < self.n_processors:
-            raise ValueError(f"pid {pid} out of range")
         return self._replay(pid)
 
     def __getstate__(self) -> dict:
@@ -245,7 +296,7 @@ class UniformWorkload(Workload):
         self.write_frac = write_frac
         self.seed = seed
 
-    def stream(self, pid: int) -> Iterator[MemRef]:
+    def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         rng = random.Random(f"{self.seed}-{pid}")
         while True:
             block = rng.randrange(self.n_blocks)
@@ -264,7 +315,7 @@ class ScriptedWorkload(Workload):
         self.n_processors = len(scripts)
         self._scripts = [list(s) for s in scripts]
 
-    def stream(self, pid: int) -> Iterator[MemRef]:
+    def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         return iter(self._scripts[pid])
 
     @property

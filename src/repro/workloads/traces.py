@@ -80,7 +80,7 @@ class TraceWorkload(Workload):
     def from_file(cls, path: Union[str, Path]) -> "TraceWorkload":
         return cls(read_trace(path))
 
-    def stream(self, pid: int) -> Iterator[MemRef]:
+    def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         return iter(self._by_pid.get(pid, []))
 
     def refs_for(self, pid: int) -> List[MemRef]:

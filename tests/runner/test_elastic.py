@@ -1,0 +1,155 @@
+"""Work-stealing elastic sweep: crash recovery, parity, shard resume.
+
+Worker functions live at module scope so they pickle by reference
+across the scheduler's pipes.  Crashes are injected with real SIGKILL
+(no cleanup handlers run — exactly the failure mode the scheduler must
+survive), with marker files making each failure strike once.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.api import Experiment, run_point
+from repro.runner import SweepError, SweepPoint, run_sweep, run_sweep_elastic
+
+#: Env var naming the marker file for the checkpoint-resume kill test;
+#: an env var (inherited by worker processes) because the worker fn is
+#: pickled by reference and cannot close over a tmp_path.
+_KILL_MARKER_VAR = "REPRO_TEST_KILL_MARKER"
+
+
+def _times_ten(x):
+    return x * 10
+
+
+def _flaky(x, marker):
+    """Dies once (SIGKILL, mid-task) on x == 2, then behaves."""
+    if x == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x * 10
+
+
+def _always_dies(x):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _raises(x):
+    raise ValueError(f"bad point {x!r}")
+
+
+def _stalls(x, marker):
+    """Hangs (once) instead of dying — exercises stall_timeout."""
+    if x == 1 and not os.path.exists(marker):
+        open(marker, "w").close()
+        time.sleep(600)
+    return x
+
+
+def test_crash_recovery_retries_killed_point(tmp_path):
+    marker = str(tmp_path / "flaky.marker")
+    points = [SweepPoint(_flaky, {"x": i, "marker": marker}) for i in range(5)]
+    report = run_sweep_elastic(points, workers=2, use_cache=False, max_retries=2)
+    assert report.results == [0, 10, 20, 30, 40]
+    assert report.retries == 1
+
+
+def test_retry_exhaustion_raises():
+    points = [SweepPoint(_always_dies, {"x": 0})]
+    with pytest.raises(SweepError, match="retr"):
+        run_sweep_elastic(points, workers=1, use_cache=False, max_retries=1)
+
+
+def test_worker_exception_propagates():
+    points = [SweepPoint(_raises, {"x": 7})]
+    with pytest.raises(SweepError, match="bad point 7"):
+        run_sweep_elastic(points, workers=2, use_cache=False)
+
+
+def test_stalled_worker_is_killed_and_point_retried(tmp_path):
+    marker = str(tmp_path / "stall.marker")
+    points = [SweepPoint(_stalls, {"x": i, "marker": marker}) for i in range(3)]
+    report = run_sweep_elastic(
+        points, workers=2, use_cache=False, max_retries=2, stall_timeout=0.5,
+    )
+    assert report.results == [0, 1, 2]
+    assert report.retries == 1
+
+
+def test_elastic_matches_plain_and_shares_cache(tmp_path):
+    experiment = Experiment(
+        protocol="twobit", n_processors=2, refs_per_proc=200, warmup_refs=40,
+    )
+    axes = {"q": [0.02, 0.1], "protocol": ["twobit", "fullmap"]}
+    cache = str(tmp_path / "cache")
+
+    plain = run_sweep(experiment.sweep_points(axes), workers=2, cache_dir=cache)
+
+    # A fresh elastic run (own cache, with checkpointing enabled) must
+    # reproduce the plain scheduler's results exactly.
+    elastic = run_sweep_elastic(
+        experiment.sweep_points(axes),
+        workers=2,
+        cache_dir=str(tmp_path / "cache2"),
+        checkpoint_every=200,
+        checkpoint_dir=str(tmp_path / "ck"),
+    )
+    assert elastic.results == plain.results
+    assert elastic.retries == 0
+
+    # Cache keys ignore the injected checkpoint kwargs, so an elastic
+    # run pointed at the plain run's cache is pure hits.
+    warmed = run_sweep_elastic(
+        experiment.sweep_points(axes), workers=2, cache_dir=cache,
+    )
+    assert warmed.cache_hits == len(plain.results)
+    assert warmed.results == plain.results
+
+
+def _killer_point(checkpoint_every=0, checkpoint_path=None, **kwargs):
+    """First attempt: run fully (writing shard checkpoints), then SIGKILL
+    before reporting.  The retry must find the shard checkpoint, resume
+    from it, and note that it did."""
+    marker = os.environ[_KILL_MARKER_VAR]
+    if checkpoint_path and os.path.exists(checkpoint_path):
+        open(marker + ".resumed", "w").close()
+    if checkpoint_path and not os.path.exists(marker):
+        Experiment(**kwargs).run(
+            checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_path,
+        )
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_point(
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        **kwargs,
+    )
+
+
+def test_retry_resumes_from_shard_checkpoint(tmp_path, monkeypatch):
+    marker = str(tmp_path / "killed.marker")
+    monkeypatch.setenv(_KILL_MARKER_VAR, marker)
+    experiment = Experiment(
+        protocol="twobit", n_processors=2, refs_per_proc=200, warmup_refs=40,
+    )
+    points = [
+        SweepPoint(_killer_point, p.kwargs, key=p.key)
+        for p in experiment.sweep_points({"q": [0.05]})
+    ]
+    report = run_sweep_elastic(
+        points,
+        workers=1,
+        use_cache=False,
+        checkpoint_every=150,
+        checkpoint_dir=str(tmp_path / "shards"),
+        max_retries=2,
+    )
+    assert report.retries == 1
+    assert os.path.exists(marker + ".resumed"), (
+        "retry did not find the shard checkpoint"
+    )
+    # The resumed result is bit-identical to an uninterrupted run.
+    assert report.results[0] == run_point(**points[0].kwargs)

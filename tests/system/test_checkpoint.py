@@ -1,0 +1,219 @@
+"""Checkpoint/restore: golden bit-identical resume for every protocol.
+
+The contract under test (see ``repro.checkpoint``): restoring a
+checkpoint and finishing the run produces *bit-identical* results —
+the same ``SimulationResults.to_dict()``, final cycle, and event count
+— as a run that was never interrupted.  Checked fault-free and under
+the canned ``check`` fault plan, including restores from checkpoints
+taken mid-transaction (in-flight messages on the wire).
+"""
+
+import json
+
+import pytest
+
+from repro import checkpoint
+from repro.api import Experiment, resume
+from repro.faults import FAULT_PROTOCOLS
+from repro.protocols import registry
+from repro.schema import SCHEMA_VERSION, SchemaMismatchError
+
+#: Small but busy enough to span several checkpoint intervals.
+N, REFS, WARMUP = 2, 200, 40
+
+
+def _experiment(protocol, **overrides):
+    return Experiment(
+        protocol=protocol, n_processors=N, refs_per_proc=REFS,
+        warmup_refs=WARMUP, **overrides,
+    )
+
+
+def _golden(experiment):
+    outcome = experiment.run()
+    machine = outcome.machine
+    return (
+        outcome.results.to_dict(),
+        machine.sim.now,
+        machine.sim.events_processed,
+    )
+
+
+def _checkpointed_then_restored(experiment, path, every=97):
+    """Run with checkpointing, then restore the last file and finish."""
+    machine, _ = experiment.build()
+    machine.run(
+        refs_per_proc=REFS, warmup_refs=WARMUP,
+        checkpoint_every=every, checkpoint_path=str(path),
+    )
+    direct = machine.results().to_dict()
+    restored = checkpoint.load(str(path))
+    restored.continue_run()
+    return direct, restored
+
+
+@pytest.mark.parametrize("protocol", registry.protocol_names())
+def test_restore_is_bit_identical(protocol, tmp_path):
+    experiment = _experiment(protocol)
+    golden, golden_now, golden_events = _golden(experiment)
+    direct, restored = _checkpointed_then_restored(
+        experiment, tmp_path / "m.ckpt"
+    )
+    # Checkpointing must not perturb the run it observes...
+    assert direct == golden
+    # ...and the restored continuation must match it exactly.
+    assert restored.results().to_dict() == golden
+    assert restored.sim.now == golden_now
+    assert restored.sim.events_processed == golden_events
+
+
+@pytest.mark.parametrize("protocol", FAULT_PROTOCOLS)
+def test_restore_is_bit_identical_under_faults(protocol, tmp_path):
+    experiment = _experiment(protocol, faults="check")
+    golden, golden_now, golden_events = _golden(experiment)
+    _, restored = _checkpointed_then_restored(
+        experiment, tmp_path / "f.ckpt"
+    )
+    assert restored.results().to_dict() == golden
+    assert restored.sim.now == golden_now
+    assert restored.sim.events_processed == golden_events
+
+
+def test_mid_transaction_checkpoint_resumes(tmp_path):
+    """A {cycle}-templated path keeps every interval's snapshot; a middle
+    one restores with work genuinely in flight and still finishes to the
+    golden result."""
+    experiment = _experiment("twobit", q=0.3)
+    golden, golden_now, _ = _golden(experiment)
+    machine, _ = experiment.build()
+    machine.run(
+        refs_per_proc=REFS, warmup_refs=WARMUP,
+        checkpoint_every=61, checkpoint_path=str(tmp_path / "ck-{cycle}.bin"),
+    )
+    files = sorted(
+        tmp_path.glob("ck-*.bin"), key=lambda p: int(p.stem.split("-")[1])
+    )
+    assert len(files) >= 2, "run too short to take multiple checkpoints"
+    middle = files[len(files) // 2]
+    restored = checkpoint.load(str(middle))
+    assert restored.sim.pending, "checkpoint should hold in-flight work"
+    assert restored.sim.now < golden_now
+    restored.continue_run()
+    assert restored.results().to_dict() == golden
+    assert restored.sim.now == golden_now
+
+
+def test_resume_facade_matches_uninterrupted(tmp_path):
+    experiment = _experiment("fullmap")
+    golden, _, _ = _golden(experiment)
+    path = tmp_path / "r.ckpt"
+    machine, _ = experiment.build()
+    machine.run(
+        refs_per_proc=REFS, warmup_refs=WARMUP,
+        checkpoint_every=83, checkpoint_path=str(path),
+    )
+    outcome = resume(str(path))
+    assert outcome.audit.ok
+    assert outcome.results.to_dict() == golden
+
+
+def test_snapshot_roundtrip_preserves_fingerprint():
+    experiment = _experiment("twobit")
+    machine, _ = experiment.build()
+    machine.run(refs_per_proc=REFS, warmup_refs=WARMUP)
+    data = checkpoint.snapshot_bytes(machine)
+    clone = checkpoint.restore_bytes(data)
+    assert checkpoint.fingerprint(clone) == checkpoint.fingerprint(machine)
+
+
+def _write_checkpoint(tmp_path, name="p.ckpt"):
+    experiment = _experiment("twobit")
+    machine, _ = experiment.build()
+    machine.run(
+        refs_per_proc=REFS, warmup_refs=WARMUP,
+        checkpoint_every=97, checkpoint_path=str(tmp_path / name),
+    )
+    return tmp_path / name
+
+
+def test_peek_reads_header_without_unpickling(tmp_path):
+    path = _write_checkpoint(tmp_path)
+    header = checkpoint.peek(str(path))
+    assert header.schema_version == SCHEMA_VERSION
+    assert header.protocol == "twobit"
+    assert header.n_processors == N
+    assert header.cycle > 0
+    assert header.events_processed > 0
+    assert set(header.uid_floors) == {"msg", "op", "eject"}
+    assert header.payload_size > 0
+    assert path.stat().st_size == (
+        len(checkpoint.MAGIC)
+        + len(header.to_json().encode()) + 1
+        + header.payload_size
+    )
+
+
+def test_bad_magic_raises(tmp_path):
+    path = tmp_path / "junk.ckpt"
+    path.write_bytes(b"this is not a checkpoint\n")
+    with pytest.raises(checkpoint.CheckpointError, match="bad magic"):
+        checkpoint.load(str(path))
+
+
+def test_corrupt_payload_raises(tmp_path):
+    path = _write_checkpoint(tmp_path)
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF
+    path.write_bytes(bytes(data))
+    with pytest.raises(checkpoint.CheckpointError, match="digest mismatch"):
+        checkpoint.load(str(path))
+
+
+def _rewrite_header(path, **changes):
+    data = path.read_bytes()
+    rest = data[len(checkpoint.MAGIC):]
+    newline = rest.find(b"\n")
+    header = json.loads(rest[:newline].decode())
+    header.update(changes)
+    path.write_bytes(
+        checkpoint.MAGIC
+        + json.dumps(header, sort_keys=True).encode()
+        + b"\n"
+        + rest[newline + 1:]
+    )
+
+
+def test_schema_mismatch_is_loud(tmp_path):
+    path = _write_checkpoint(tmp_path)
+    _rewrite_header(path, schema_version=SCHEMA_VERSION + 999)
+    with pytest.raises(SchemaMismatchError):
+        checkpoint.load(str(path))
+
+
+def test_code_version_mismatch_is_loud_but_overridable(tmp_path):
+    path = _write_checkpoint(tmp_path)
+    _rewrite_header(path, code_version="0" * 16)
+    with pytest.raises(checkpoint.CheckpointError, match="code_version"):
+        checkpoint.load(str(path))
+    machine = checkpoint.load(str(path), allow_code_mismatch=True)
+    machine.continue_run()  # still runs to completion
+
+
+def test_restore_advances_uid_floors(tmp_path):
+    path = _write_checkpoint(tmp_path)
+    header = checkpoint.peek(str(path))
+    checkpoint.load(str(path))
+    floors = checkpoint.uid_floors()
+    for name, floor in header.uid_floors.items():
+        assert floors[name] >= floor, name
+
+
+def test_checkpoint_every_requires_path():
+    machine, _ = _experiment("twobit").build()
+    with pytest.raises(ValueError, match="checkpoint_path"):
+        machine.run(refs_per_proc=50, checkpoint_every=10)
+
+
+def test_resolve_path_templates_cycle():
+    assert checkpoint.resolve_path("a/ck-{cycle}.bin", 420) == "a/ck-420.bin"
+    assert checkpoint.resolve_path("plain.bin", 420) == "plain.bin"

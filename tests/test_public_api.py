@@ -1,6 +1,8 @@
 """The public API surface: everything advertised must import and exist."""
 
 import importlib
+import importlib.util
+from pathlib import Path
 
 import pytest
 
@@ -9,7 +11,9 @@ import repro
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.api",
     "repro.cache",
+    "repro.checkpoint",
     "repro.core",
     "repro.faults",
     "repro.interconnect",
@@ -17,6 +21,8 @@ PACKAGES = [
     "repro.obs",
     "repro.processors",
     "repro.protocols",
+    "repro.runner",
+    "repro.schema",
     "repro.sim",
     "repro.stats",
     "repro.system",
@@ -53,6 +59,47 @@ def test_top_level_quickstart_names():
 
 def test_version_is_set():
     assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    ("name", "home_module"),
+    [
+        ("build_machine", "repro.system.builder"),
+        ("audit_machine", "repro.verification.audit"),
+        ("describe_machine", "repro.system.topology"),
+        ("render_topology", "repro.system.topology"),
+    ],
+)
+def test_deprecated_helpers_warn_and_resolve(name, home_module):
+    """The legacy top-level helpers still work, warn, and hand back the
+    exact object from their home module."""
+    with pytest.warns(DeprecationWarning, match=f"repro.{name} is deprecated"):
+        shimmed = getattr(repro, name)
+    home = importlib.import_module(home_module)
+    assert shimmed is getattr(home, name)
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError, match="no attribute"):
+        repro.no_such_thing
+
+
+def test_api_surface_matches_committed_snapshot():
+    """Changing a public signature must come with a deliberate update of
+    API_SURFACE.txt (see tools/api_surface.py)."""
+    root = Path(__file__).resolve().parents[1]
+    spec = importlib.util.spec_from_file_location(
+        "api_surface", root / "tools" / "api_surface.py"
+    )
+    api_surface = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(api_surface)
+    live = "\n".join(api_surface.surface_lines()) + "\n"
+    committed = (root / "API_SURFACE.txt").read_text()
+    assert live == committed, (
+        "public API drifted; regenerate with "
+        "`PYTHONPATH=src python tools/api_surface.py > API_SURFACE.txt` "
+        "if the change is intentional"
+    )
 
 
 def test_public_classes_have_docstrings():
