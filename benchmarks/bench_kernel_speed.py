@@ -28,17 +28,79 @@ def test_kernel_event_throughput(benchmark):
     assert events == 10_001
 
 
-def test_machine_reference_throughput(benchmark):
+def _reference_setup():
     workload = DuboisBriggsWorkload(
         n_processors=4, q=0.05, w=0.2, private_blocks_per_proc=64, seed=3
     )
     config = MachineConfig(
         n_processors=4, n_modules=2, n_blocks=workload.n_blocks
     )
+    return config, workload
+
+
+def test_machine_reference_throughput(benchmark):
+    """Headline machine throughput on the table-compiled engine."""
+    config, workload = _reference_setup()
+    # Pay the one-time table-conformance verification outside the timing.
+    build_machine(config, workload, engine="compiled")
 
     def run():
-        machine = build_machine(config, workload)
+        machine = build_machine(config, workload, engine="compiled")
         machine.run(refs_per_proc=500)
+        return machine.results().total_refs
+
+    refs = benchmark(run)
+    assert refs == 2000
+
+
+def test_machine_reference_throughput_interpreted(benchmark):
+    """Same machine on the interpreted engine (the compiled engine's
+    reference point; results are bit-identical by the conformance pass)."""
+    config, workload = _reference_setup()
+
+    def run():
+        machine = build_machine(config, workload, engine="interpreted")
+        machine.run(refs_per_proc=500)
+        return machine.results().total_refs
+
+    refs = benchmark(run)
+    assert refs == 2000
+
+
+def _dispatch_setup():
+    # One processor, private pool fully cache-resident: after warm-up
+    # every reference is a hit, so the measurement is (almost) pure
+    # protocol dispatch — the path the compiled kernel flattens.
+    workload = DuboisBriggsWorkload(
+        n_processors=1, q=0.0, private_blocks_per_proc=16, locality=0.6,
+        seed=9,
+    )
+    config = MachineConfig(
+        n_processors=1, n_modules=1, n_blocks=workload.n_blocks,
+        cache_sets=8, cache_assoc=4,
+    )
+    return config, workload
+
+
+def test_dispatch_hit_interpreted(benchmark):
+    config, workload = _dispatch_setup()
+
+    def run():
+        machine = build_machine(config, workload, engine="interpreted")
+        machine.run(refs_per_proc=2000, warmup_refs=100)
+        return machine.results().total_refs
+
+    refs = benchmark(run)
+    assert refs == 2000
+
+
+def test_dispatch_hit_compiled(benchmark):
+    config, workload = _dispatch_setup()
+    build_machine(config, workload, engine="compiled")
+
+    def run():
+        machine = build_machine(config, workload, engine="compiled")
+        machine.run(refs_per_proc=2000, warmup_refs=100)
         return machine.results().total_refs
 
     refs = benchmark(run)

@@ -38,7 +38,10 @@ OUTPUT = ROOT / "BENCH_kernel.json"
 WORK_UNITS = {
     "test_kernel_event_throughput": ("events", 10_001),
     "test_machine_reference_throughput": ("refs", 2_000),
+    "test_machine_reference_throughput_interpreted": ("refs", 2_000),
     "test_machine_instrumented_throughput": ("refs", 2_000),
+    "test_dispatch_hit_interpreted": ("refs", 2_000),
+    "test_dispatch_hit_compiled": ("refs", 2_000),
 }
 
 #: The gate's hardware calibrator: no probe sites on its path, so any

@@ -86,6 +86,10 @@ class Experiment:
             a :class:`~repro.faults.plan.FaultSpec`; None = fault-free.
         sample_interval: telemetry sampler window for instrumented runs.
         private_blocks_per_proc: per-processor private pool size.
+        engine: protocol dispatch engine — ``"compiled"`` (default)
+            executes the build-time table-compiled kernel, verified
+            against the interpreted reference once per code version;
+            ``"interpreted"`` forces the classic per-event dispatch.
     """
 
     def __init__(
@@ -105,6 +109,7 @@ class Experiment:
         faults: Optional[object] = None,
         sample_interval: int = 200,
         private_blocks_per_proc: int = 128,
+        engine: str = "compiled",
     ) -> None:
         self.protocol = registry.canonical_name(protocol)
         self.n_processors = n_processors
@@ -124,6 +129,12 @@ class Experiment:
         self.faults = faults
         self.sample_interval = sample_interval
         self.private_blocks_per_proc = private_blocks_per_proc
+        if engine not in ("interpreted", "compiled"):
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'interpreted' or "
+                f"'compiled'"
+            )
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # Introspection
@@ -151,6 +162,7 @@ class Experiment:
             "faults": faults,
             "sample_interval": self.sample_interval,
             "private_blocks_per_proc": self.private_blocks_per_proc,
+            "engine": self.engine,
         }
 
     def variant(self, **overrides: Any) -> "Experiment":
@@ -208,7 +220,7 @@ class Experiment:
                 duplicate_directory=self.duplicate_directory,
             ),
         )
-        machine = build_machine(config, workload)
+        machine = build_machine(config, workload, engine=self.engine)
         spec = self._fault_spec()
         if spec is not None:
             attach_faults(machine, spec)
@@ -368,7 +380,8 @@ class Experiment:
         for offset in range(differential):
             refs = diff_mod.random_refs(self.seed + offset)
             report = diff_mod.run_differential(
-                refs, protocols=[self.protocol], faults=spec
+                refs, protocols=[self.protocol], faults=spec,
+                engine=self.engine,
             )
             if not report.ok:
                 ok = False

@@ -41,6 +41,9 @@ class CacheArray:
             [CacheLine() for _ in range(associativity)] for _ in range(n_sets)
         ]
         self._clock = 0  # internal use-ordering clock
+        # block -> line placed by fill(); entries may be stale (the line
+        # since evicted or invalidated), so every probe re-validates.
+        self._index: dict = {}
 
     @property
     def n_frames(self) -> int:
@@ -59,8 +62,14 @@ class CacheArray:
     # ------------------------------------------------------------------
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Return the valid line holding ``block``, or None (a miss)."""
+        line = self._index.get(block)
+        if line is not None and line.valid and line.block == block:
+            return line
+        # Fallback scan: a frame filled via CacheLine.fill directly (test
+        # and doctest usage) is resident without an index entry.
         for line in self._sets[self.set_index(block)]:
             if line.valid and line.block == block:
+                self._index[block] = line
                 return line
         return None
 
@@ -86,6 +95,7 @@ class CacheArray:
         """Place ``block`` into its frame (assumes eviction already handled)."""
         line = self.frame_for(block)
         line.fill(block, version, modified)
+        self._index[block] = line
         now = self._tick()
         if isinstance(self.policy, FIFOPolicy):
             self.policy.stamp_fill(line, now)

@@ -74,6 +74,9 @@ _PARAM_HELP = {
     "translation_buffer_entries": "translation buffer entries (0 = off)",
     "duplicate_directory": "enable the duplicate-directory enhancement",
     "private_blocks_per_proc": "private pool blocks per processor",
+    "engine": "protocol dispatch engine: the table-compiled kernel "
+    "(default; verified against the interpreted reference once per code "
+    "version) or the classic interpreted dispatch",
 }
 
 
@@ -105,6 +108,11 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
             parser.add_argument(
                 *flags, dest=name, choices=NETWORKS, default=None,
                 help=help_text,
+            )
+        elif name == "engine":
+            parser.add_argument(
+                *flags, dest=name, choices=("interpreted", "compiled"),
+                default=default, help=help_text,
             )
         else:
             parser.add_argument(

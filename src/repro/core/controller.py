@@ -103,33 +103,46 @@ class TwoBitDirectoryController(AbstractMemoryController):
         #: MREQ_CANCEL for them must be absorbed here, not parked as a
         #: dispatch marker that nothing will ever consume.
         self._scrubbed_mreqs: Set[Tuple[str, Optional[int]]] = set()
+        # Message dispatch: kind -> handler *name*, resolved per delivery
+        # with getattr so subclass overrides and instance-level patching
+        # keep working.  Initiating commands (REQUEST/MREQUEST/EJECT)
+        # share the admit-and-serialize entry; the rest are
+        # transaction-internal responses.
+        self._deliver_table = {
+            MessageKind.REQUEST: "_admit_initiating",
+            MessageKind.MREQUEST: "_admit_initiating",
+            MessageKind.EJECT: "_admit_initiating",
+            MessageKind.PUT: "_on_put",
+            MessageKind.INV_ACK: "_on_inv_ack",
+            MessageKind.QUERY_NOCOPY: "_on_query_nocopy",
+            MessageKind.MREQ_CANCEL: "_admit_mreq_cancel",
+            MessageKind.EJECT_REVOKE: "_admit_eject_revoke",
+        }
 
     # ==================================================================
     # Network interface
     # ==================================================================
     def deliver(self, message: Message) -> None:
-        kind = message.kind
-        if kind in (MessageKind.REQUEST, MessageKind.MREQUEST, MessageKind.EJECT):
-            if not self._fault_admit(message):
-                return
-            self.counters.add(f"rx_{kind.name.lower()}")
-            self.engine.submit(message)
-        elif kind is MessageKind.PUT:
-            self._on_put(message)
-        elif kind is MessageKind.INV_ACK:
-            self._on_inv_ack(message)
-        elif kind is MessageKind.QUERY_NOCOPY:
-            self._on_query_nocopy(message)
-        elif kind is MessageKind.MREQ_CANCEL:
-            if not self._fault_dedupe(message, "txn"):
-                return
-            self._on_mreq_cancel(message)
-        elif kind is MessageKind.EJECT_REVOKE:
-            if not self._fault_dedupe(message, "ej"):
-                return
-            self._revoked_ejects[(message.src, message.block)] = message.meta["ej"]
-        else:
+        handler = self._deliver_table.get(message.kind)
+        if handler is None:
             raise ValueError(f"{self.name} cannot handle {message!r}")
+        getattr(self, handler)(message)
+
+    def _admit_initiating(self, message: Message) -> None:
+        if not self._fault_admit(message):
+            return
+        self.counters.add(f"rx_{message.kind.name.lower()}")
+        self.engine.submit(message)
+
+    def _admit_mreq_cancel(self, message: Message) -> None:
+        if not self._fault_dedupe(message, "txn"):
+            return
+        self._on_mreq_cancel(message)
+
+    def _admit_eject_revoke(self, message: Message) -> None:
+        if not self._fault_dedupe(message, "ej"):
+            return
+        self._revoked_ejects[(message.src, message.block)] = message.meta["ej"]
 
     def _state_changed(
         self, block: int, old: GlobalState, new: GlobalState

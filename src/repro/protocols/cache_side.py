@@ -108,6 +108,22 @@ class DirectoryCacheController(AbstractCacheController):
         self._eject_retries: dict = {}
         #: (block, eject uid) pairs with a resend already scheduled.
         self._eject_retry_scheduled: set = set()
+        # Message dispatch: kind -> handler *name*, resolved per delivery
+        # with getattr so subclass overrides and instance-level patching
+        # (the model checker's bug injectors) keep working.  Aliased
+        # kinds (broadcast vs selective) share one handler on purpose:
+        # the cache's reaction is identical, only the sender's targeting
+        # differs.
+        self._deliver_table = {
+            MessageKind.GET: "_on_get",
+            MessageKind.MGRANTED: "_on_mgranted",
+            MessageKind.BROADINV: "_on_invalidate",
+            MessageKind.INVALIDATE: "_on_invalidate",
+            MessageKind.BROADQUERY: "_on_query",
+            MessageKind.PURGE: "_on_query",
+            MessageKind.EJECT_ACK: "_on_eject_ack",
+            MessageKind.NAK: "_on_nak",
+        }
 
     # ==================================================================
     # Processor interface
@@ -346,21 +362,10 @@ class DirectoryCacheController(AbstractCacheController):
     # Network interface
     # ==================================================================
     def deliver(self, message: Message) -> None:
-        kind = message.kind
-        if kind is MessageKind.GET:
-            self._on_get(message)
-        elif kind is MessageKind.MGRANTED:
-            self._on_mgranted(message)
-        elif kind in (MessageKind.BROADINV, MessageKind.INVALIDATE):
-            self._on_invalidate(message)
-        elif kind in (MessageKind.BROADQUERY, MessageKind.PURGE):
-            self._on_query(message)
-        elif kind is MessageKind.EJECT_ACK:
-            self._on_eject_ack(message)
-        elif kind is MessageKind.NAK:
-            self._on_nak(message)
-        else:
+        handler = self._deliver_table.get(message.kind)
+        if handler is None:
             raise ValueError(f"{self.name} cannot handle {message!r}")
+        getattr(self, handler)(message)
 
     def _on_eject_ack(self, message: Message) -> None:
         block = message.block

@@ -12,13 +12,20 @@ and delete (anywhere) elements in the queue"): :meth:`scrub` removes
 queued commands matching a predicate, used to delete superseded
 MREQUESTs when an invalidation is broadcast.
 
-The lifecycle is written in pure-step form: every mutation (submit,
-complete) enqueues/retires and then calls :meth:`_pump`, which starts
-whatever :meth:`_eligible` says may run.  Starting is always synchronous
-within the mutating call — observable behaviour is identical to the
-historical start-or-queue branching — but the eligibility rule now lives
-in one inspectable place and :meth:`snapshot` exposes the full
-active/queued state, which the model checker fingerprints.
+The lifecycle is pure-step: every mutation (:meth:`submit`,
+:meth:`complete`) enqueues or retires and then calls :meth:`_pump`,
+which synchronously starts whatever :meth:`_eligible` says may run.
+The eligibility rule lives in that one inspectable place, and
+:meth:`snapshot` exposes the full active/queued state for the model
+checker's fingerprinter.
+
+Under the table-compiled engine (:mod:`repro.protocols.compiled`) the
+engine sits on the escape path: the fused processor loop handles hits
+from the compiled tables and re-enters the interpreted controller for
+everything that needs the interconnect, so every transaction still
+serializes here — compiled and interpreted machines exercise the same
+submit/complete/scrub sequence, which is part of what the build-time
+conformance pass fingerprints.
 """
 
 from __future__ import annotations

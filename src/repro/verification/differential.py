@@ -99,7 +99,7 @@ def random_refs(
 
 def _build_lockstep_machine(
     protocol: str, n_processors: int, n_blocks: int,
-    cache_sets: int, cache_assoc: int,
+    cache_sets: int, cache_assoc: int, engine: str = "interpreted",
 ):
     # NOTE: imported here, not at module scope — the system builder
     # imports the component classes whose modules import this package
@@ -119,7 +119,7 @@ def _build_lockstep_machine(
     )
     # Empty scripts: the harness drives the caches directly.
     workload = ScriptedWorkload([[] for _ in range(n_processors)])
-    return build_machine(config, workload)
+    return build_machine(config, workload, engine=engine)
 
 
 def run_lockstep(
@@ -128,6 +128,7 @@ def run_lockstep(
     cache_sets: int = 2,
     cache_assoc: int = 2,
     faults: Optional[FaultSpec] = None,
+    engine: str = "interpreted",
 ) -> ProtocolTrace:
     """Drive ``refs`` serially (full drain between ops) through ``protocol``.
 
@@ -136,11 +137,18 @@ def run_lockstep(
     theorem is unchanged: observable reads and finals must match the
     fault-free reference exactly, which makes this harness a recovery
     conformance check as well.
+
+    ``engine`` selects the machine's dispatch engine; the harness drives
+    the caches directly, so this checks that a compiled-built machine's
+    protocol components behave identically under direct access (the
+    fused processor path itself is verified by
+    :func:`repro.protocols.compiled.verify_protocol_table`).
     """
     n_processors = max(r.pid for r in refs) + 1 if refs else 1
     n_blocks = max(r.block for r in refs) + 1 if refs else 1
     machine = _build_lockstep_machine(
-        protocol, n_processors, n_blocks, cache_sets, cache_assoc
+        protocol, n_processors, n_blocks, cache_sets, cache_assoc,
+        engine=engine,
     )
     if faults is not None:
         attach_faults(machine, faults)
@@ -180,6 +188,7 @@ def run_differential(
     cache_sets: int = 2,
     cache_assoc: int = 2,
     faults: Optional[FaultSpec] = None,
+    engine: str = "interpreted",
 ) -> DifferentialReport:
     """Replay ``refs`` through every protocol and diff against ``reference``.
 
@@ -210,6 +219,7 @@ def run_differential(
             cache_sets=cache_sets,
             cache_assoc=cache_assoc,
             faults=faults,
+            engine=engine,
         )
         for name in (registry.canonical_name(n) for n in names)
     }

@@ -1,0 +1,212 @@
+"""Table-compiled engine conformance (see repro/protocols/compiled.py).
+
+Three layers of evidence that the compiled kernel is the interpreted
+engine, only faster:
+
+* the build-time verifier itself, run here for every registry protocol
+  — twin machines over the full reachable (state, command) domain plus
+  a concurrent randomized smoke run, full-fingerprint compared;
+* end-to-end bit-identity through the public facade: results, faulted
+  runs, and checkpoint/resume slices must be byte-equal across engines;
+* the differential lockstep harness under compiled-built machines.
+
+The golden determinism values live in test_determinism_golden.py, which
+parametrizes over both engines.
+"""
+
+import os
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.protocols import registry
+from repro.protocols.compiled import (
+    PROTOCOL_TABLES,
+    Action,
+    CompiledProcessor,
+    LineState,
+    compile_protocol,
+    render_table,
+    verify_protocol_table,
+)
+from repro.system.builder import build_machine
+from repro.workloads.synthetic import DuboisBriggsWorkload
+
+ALL_PROTOCOLS = sorted(registry.protocol_names())
+
+
+# ----------------------------------------------------------------------
+# The compile pass
+# ----------------------------------------------------------------------
+def test_every_registry_protocol_has_a_table():
+    assert set(PROTOCOL_TABLES) == set(registry.protocol_names())
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_compile_protocol_structure(protocol):
+    kernel = compile_protocol(protocol)
+    table = PROTOCOL_TABLES[protocol]
+    assert kernel.protocol == protocol
+    assert kernel.op_flag == table.op_flag
+    # Every fast counter the kernel can touch is pre-declared.
+    for rule in table.rules:
+        if rule.action is Action.WRITE:
+            assert rule.hit_counter in kernel.counter_names
+            for extra in rule.extra_counters:
+                assert extra in kernel.counter_names
+    # Memoized: compiling twice returns the same object.
+    assert compile_protocol(protocol) is kernel
+
+
+def test_write_through_protocols_never_fast_path_writes():
+    # §2.3: every store goes to memory, serialized there — the fast
+    # write maps must be empty so all writes escape.
+    for name in ("classical", "twobit_wt"):
+        kernel = compile_protocol(name)
+        assert not kernel.w_clean and not kernel.w_dirty
+        assert not kernel.r_dirty  # write-through keeps no dirty lines
+
+
+def test_static_table_guards_shared_refs_before_lookup():
+    kernel = compile_protocol("static")
+    assert kernel.pre_shared_escape
+    assert all(not compile_protocol(p).pre_shared_escape
+               for p in ALL_PROTOCOLS if p != "static")
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_render_table_lists_every_rule(protocol):
+    text = render_table(protocol)
+    assert protocol in text
+    assert text.count("\n") == len(PROTOCOL_TABLES[protocol].rules)
+
+
+# ----------------------------------------------------------------------
+# The build-time verifier (compiled ≡ interpreted per protocol)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_table_conformance(protocol):
+    # Raises TableConformanceError on any fingerprint divergence.
+    verify_protocol_table(protocol)
+
+
+# ----------------------------------------------------------------------
+# The fused path actually runs (and escapes stay correct)
+# ----------------------------------------------------------------------
+def _machine(protocol, engine, seed=3, refs=200):
+    workload = DuboisBriggsWorkload(
+        n_processors=2, q=0.1, w=0.4, private_blocks_per_proc=16, seed=seed
+    )
+    spec = registry.resolve(protocol)
+    config = MachineConfig(
+        n_processors=2, n_modules=2, n_blocks=workload.n_blocks,
+        protocol=protocol, network=spec.default_network(),
+    )
+    machine = build_machine(config, workload, engine=engine)
+    machine.run(refs_per_proc=refs, warmup_refs=20)
+    return machine
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_compiled_run_matches_interpreted_and_uses_fast_path(protocol):
+    interp = _machine(protocol, "interpreted")
+    comp = _machine(protocol, "compiled")
+    assert comp.engine == "compiled" and interp.engine == "interpreted"
+    assert all(isinstance(p, CompiledProcessor) for p in comp.processors)
+    assert comp.results().to_dict() == interp.results().to_dict()
+    assert comp.sim.events_processed == interp.sim.events_processed
+    # The kernel must actually execute table rows, not escape everything.
+    assert sum(p.fused_fast for p in comp.processors) > 0
+
+
+def test_line_state_mapping_covers_runtime_encodings():
+    from repro.cache.line import CacheLine, LocalState
+    from repro.protocols.compiled import line_state
+
+    assert line_state(None) is LineState.INVALID
+    line = CacheLine()
+    assert line_state(line) is LineState.INVALID
+    line.fill(3, version=1)
+    assert line_state(line) is LineState.VALID
+    line.local = LocalState.EXCLUSIVE
+    assert line_state(line) is LineState.EXCLUSIVE
+    line.modified = True
+    assert line_state(line) is LineState.DIRTY
+
+
+# ----------------------------------------------------------------------
+# Facade integration: engine= end to end
+# ----------------------------------------------------------------------
+def test_build_machine_rejects_unknown_engine():
+    workload = DuboisBriggsWorkload(n_processors=2, private_blocks_per_proc=8)
+    config = MachineConfig(
+        n_processors=2, n_modules=1, n_blocks=workload.n_blocks
+    )
+    with pytest.raises(ValueError, match="unknown engine"):
+        build_machine(config, workload, engine="jit")
+
+
+def test_experiment_engine_kwarg_roundtrip():
+    from repro.api import Experiment
+
+    exp = Experiment(engine="interpreted")
+    assert exp.to_kwargs()["engine"] == "interpreted"
+    assert exp.variant(engine="compiled").engine == "compiled"
+    with pytest.raises(ValueError, match="unknown engine"):
+        Experiment(engine="tables")
+
+
+def test_experiment_defaults_to_compiled_and_matches_interpreted():
+    from repro.api import Experiment
+
+    base = Experiment(refs_per_proc=300, warmup_refs=50)
+    assert base.engine == "compiled"
+    compiled = base.run()
+    interpreted = base.variant(engine="interpreted").run()
+    assert compiled.results.to_dict() == interpreted.results.to_dict()
+
+
+def test_faulted_run_bit_identical_across_engines():
+    from repro.api import Experiment
+
+    outcomes = {
+        engine: Experiment(
+            refs_per_proc=300, warmup_refs=50, faults="check", engine=engine
+        ).run()
+        for engine in ("interpreted", "compiled")
+    }
+    assert (
+        outcomes["compiled"].results.to_dict()
+        == outcomes["interpreted"].results.to_dict()
+    )
+
+
+def test_checkpoint_resume_under_compiled_engine(tmp_path):
+    from repro import checkpoint
+    from repro.api import Experiment
+
+    path = os.path.join(tmp_path, "compiled-{cycle}.ckpt")
+    exp = Experiment(refs_per_proc=300, warmup_refs=50, engine="compiled")
+    sliced = exp.run(checkpoint_every=400, checkpoint_path=path)
+    uninterrupted = exp.run()
+    assert sliced.results.to_dict() == uninterrupted.results.to_dict()
+
+    # A mid-run checkpoint restores (CompiledProcessor and its kernel
+    # pickle) and finishes bit-identically.
+    saved = sorted(tmp_path.iterdir())
+    assert saved, "expected at least one mid-run checkpoint"
+    machine = checkpoint.load(str(saved[0]))
+    machine.continue_run()
+    assert machine.results().to_dict() == uninterrupted.results.to_dict()
+    assert machine.engine == "compiled"
+
+
+# ----------------------------------------------------------------------
+# Differential lockstep under compiled-built machines
+# ----------------------------------------------------------------------
+def test_differential_agrees_under_compiled_machines():
+    from repro.verification.differential import random_refs, run_differential
+
+    refs = random_refs(5)
+    report = run_differential(refs, engine="compiled")
+    assert report.ok, report.render()
