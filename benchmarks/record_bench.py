@@ -34,7 +34,13 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 OUTPUT = ROOT / "BENCH_kernel.json"
 
-#: Work done per benchmark round (asserted inside bench_kernel_speed.py).
+#: The benchmark selections whose timings are recorded.
+BENCH_TARGETS = [
+    "benchmarks/bench_kernel_speed.py",
+    "benchmarks/bench_scalability.py::test_sparse_fanout_peak_n",
+]
+
+#: Work done per benchmark round (asserted inside the bench modules).
 WORK_UNITS = {
     "test_kernel_event_throughput": ("events", 10_001),
     "test_machine_reference_throughput": ("refs", 2_000),
@@ -42,6 +48,8 @@ WORK_UNITS = {
     "test_machine_instrumented_throughput": ("refs", 2_000),
     "test_dispatch_hit_interpreted": ("refs", 2_000),
     "test_dispatch_hit_compiled": ("refs", 2_000),
+    # n=256 sparse fan-out run (peak-n regime of bench_scalability.py).
+    "test_sparse_fanout_peak_n": ("refs", 15_360),
 }
 
 #: The gate's hardware calibrator: no probe sites on its path, so any
@@ -72,7 +80,7 @@ def run_benchmarks() -> dict:
                 sys.executable,
                 "-m",
                 "pytest",
-                "benchmarks/bench_kernel_speed.py",
+                *BENCH_TARGETS,
                 "--benchmark-only",
                 f"--benchmark-json={out}",
                 "-q",
@@ -118,6 +126,8 @@ def build_record(payload: dict) -> dict:
         if baseline:
             entry["baseline_mean_s"] = baseline["mean_s"]
             entry["speedup_vs_baseline"] = baseline["mean_s"] / stats["mean"]
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
         record["benchmarks"][name] = entry
     return record
 

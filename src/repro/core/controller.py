@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.states import GlobalState, TwoBitDirectory
 from repro.core.translation_buffer import TranslationBuffer
+from repro.interconnect.holders import CopyHolderIndex
 from repro.interconnect.message import Message, MessageKind
 from repro.interconnect.network import Network
 from repro.memory.module import MemoryModule
@@ -85,6 +86,13 @@ class TwoBitDirectoryController(AbstractMemoryController):
             forced_hit_ratio=opts.tbuf_forced_hit_ratio,
             seed=config.seed + index,
         )
+        #: Simulator-side copy-holder index for this module's blocks
+        #: (not protocol state — the two-bit map still only knows
+        #: *whether* copies exist).  Maintained and consulted only when
+        #: ``config.sparse_fanout`` is set, so the dense path pays
+        #: nothing for it; stays empty (and unaudited) otherwise.
+        self.holders = CopyHolderIndex()
+        self._sparse = bool(config.sparse_fanout)
         self._txns: Dict[int, _Txn] = {}
         #: put(for="eject") data parked until its EJECT transaction runs.
         self._eject_data: Dict[Tuple[str, int], int] = {}
@@ -269,9 +277,13 @@ class TwoBitDirectoryController(AbstractMemoryController):
         if state is GlobalState.ABSENT:
             next_state = GlobalState.PRESENT1
             self.tbuf.establish(block, {requester})
+            if self._sparse:
+                self.holders.set_only(block, requester)
         else:
             next_state = GlobalState.PRESENT_STAR
             self.tbuf.add_owner(block, requester)
+            if self._sparse:
+                self.holders.add(block, requester)
         done = self._use_memory()
         self.sim.post_at(done, self._grant_data_and_finish, txn, next_state, None)
 
@@ -284,6 +296,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
         if state is GlobalState.ABSENT:
             # Case 1: plain fetch.
             self.tbuf.establish(block, {self._requester(txn)})
+            if self._sparse:
+                self.holders.set_only(block, self._requester(txn))
             done = self._use_memory()
             self.sim.post_at(
                 done, self._grant_data_and_finish, txn, GlobalState.PRESENTM, None
@@ -333,6 +347,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
         self.module.write(block, version)
         self.directory.set_state(block, GlobalState.ABSENT)
         self.tbuf.establish(block, set())
+        if self._sparse:
+            self.holders.clear(block)
         self.counters.add("writebacks_absorbed")
         self._dispatch(txn)
 
@@ -378,6 +394,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
         if granted:
             self.directory.set_state(block, GlobalState.PRESENTM)
             self.tbuf.establish(block, {requester})
+            if self._sparse:
+                self.holders.set_only(block, requester)
         self._send(
             MessageKind.MGRANTED,
             dst=self._cache_name(requester),
@@ -430,13 +448,21 @@ class TwoBitDirectoryController(AbstractMemoryController):
             # that reduces later broadcasts, §3.2.1 note).
             self.directory.set_state(block, GlobalState.ABSENT)
             self.tbuf.establish(block, set())
+            if self._sparse:
+                self.holders.clear(block)
             self.counters.add("eject_present1_to_absent")
         elif state is GlobalState.PRESENT_STAR:
             # Stays Present* — the directory cannot know the count.
             self.tbuf.drop_owner(block, requester)
+            if self._sparse:
+                self.holders.discard(block, requester)
             self.counters.add("eject_present_star")
         else:
             # Stale notice (copy was invalidated while the EJECT flew).
+            # Holder index untouched: the invalidation round's set_only
+            # already removed the ejector; under a fault plan a NAK-
+            # reordered refetch could even make it a holder again, so a
+            # hygiene discard here would break the superset invariant.
             self.counters.add("eject_stale_clean")
         self._ack_clean_eject_and_finish(txn)
 
@@ -471,6 +497,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
         self.module.write(block, version)
         self.directory.set_state(block, GlobalState.ABSENT)
         self.tbuf.establish(block, set())
+        if self._sparse:
+            self.holders.clear(block)
         self.counters.add("writebacks_absorbed")
         self._ack_eject_and_finish(txn)
 
@@ -536,10 +564,17 @@ class TwoBitDirectoryController(AbstractMemoryController):
                     requester=requester,
                 ),
                 exclude={self._cache_name(requester)},
+                targets=self._sparse_targets(block, requester),
             )
             txn.acks_expected = sent if opts.invalidation_acks else 0
             self.counters.add("broadinv_sent")
             self.counters.add("broadinv_commands", sent)
+        # Every other copy is now doomed; collapsing the index at send
+        # time (like the tbuf above/below) keeps a second round in the
+        # delivery window correct, because same-path FIFO delivers this
+        # round's invalidations first.
+        if self._sparse:
+            self.holders.set_only(block, requester)
         if txn.acks_expected == 0:
             self._invalidations_done(txn)
         else:
@@ -617,6 +652,7 @@ class TwoBitDirectoryController(AbstractMemoryController):
                     requester=requester,
                 ),
                 exclude={self._cache_name(requester)},
+                targets=self._sparse_targets(block, requester),
             )
             self.counters.add("broadquery_sent")
             self.counters.add("broadquery_commands", sent)
@@ -667,6 +703,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
             # Owner held a clean copy (paper-literal read-query mode can
             # produce this); memory is current — serve from memory.
             txn.phase = "query-done"
+            if self._sparse:
+                self.holders.add(message.block, self._requester(txn))
             done = self._use_memory()
             next_state = self._post_query_state(txn)
             self.sim.post_at(done, self._grant_data_and_finish, txn, next_state, None)
@@ -702,6 +740,8 @@ class TwoBitDirectoryController(AbstractMemoryController):
         ):
             owners.add(responder)
         self.tbuf.establish(block, owners)
+        if self._sparse:
+            self.holders.replace(block, owners)
         self.counters.add("query_writebacks")
         self.sim.post_at(done, self._grant_data_and_finish, txn, next_state, put.version)
 
@@ -766,6 +806,25 @@ class TwoBitDirectoryController(AbstractMemoryController):
         if owners is None:
             return None
         return {p for p in owners if p != exclude}
+
+    def _sparse_targets(self, block: int, requester: int) -> Optional[Set[str]]:
+        """Endpoint names to actually deliver a broadcast to, or None.
+
+        None selects the dense fan-out (the behavioural reference);
+        otherwise the current copy-holder superset minus the requester.
+        Computed *before* any index mutation for the round.
+        """
+        if not self._sparse:
+            return None
+        return {
+            self._cache_name(p)
+            for p in self.holders.holders(block)
+            if p != requester
+        }
+
+    def copy_holders(self, block: int) -> FrozenSet[int]:
+        """Superset of pids currently holding a valid copy of ``block``."""
+        return self.holders.holders(block)
 
     # ==================================================================
     # Helpers

@@ -49,6 +49,14 @@ class Bus(Network):
         """Extend the current tenure (atomic snoop transactions)."""
         self._busy_until = max(self._busy_until, time)
 
+    def broadcast(self, message, exclude=None, targets=None) -> int:
+        if targets is not None:
+            # One bus transaction is observed by every member at once;
+            # there is no per-recipient fan-out to thin out (also
+            # enforced by MachineConfig's sparse envelope).
+            raise ValueError("sparse fan-out is meaningless on a snooping bus")
+        return super().broadcast(message, exclude)
+
     def _delivery_time(self, message: Message) -> int:
         end = self.acquire(message.size)
         return end + self.latency

@@ -147,3 +147,17 @@ class DeltaNetwork(Network):
         src = self._ports.get(message.src)
         src_port = src[1] if src is not None else 0
         return self._traverse(plane, src_port, dst_port, message.size)
+
+    def _phantom_delivery(self, message: Message, name: str) -> None:
+        # A suppressed broadcast copy still occupies its route: the
+        # paper's caveat that broadcasts "increase the probability of
+        # conflicts" is a property of the fabric, not of whether the
+        # recipient does anything with the command.  Reserving the same
+        # hops in the same recipient order keeps the link schedule — and
+        # therefore every *delivered* message's timing — bit-identical
+        # to the dense path.
+        side, dst_port = self._ports[name]
+        plane = "fwd" if side == "mem" else "rev"
+        src = self._ports.get(message.src)
+        src_port = src[1] if src is not None else 0
+        self._traverse(plane, src_port, dst_port, message.size)

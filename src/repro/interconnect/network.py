@@ -36,6 +36,7 @@ class Network(Component):
         self.faults = None
         self._endpoints: Dict[str, Component] = {}
         self._broadcast_group: List[str] = []
+        self._broadcast_members: Set[str] = set()
         #: Bound ``deliver`` methods, cached at attach time — the send hot
         #: path skips the endpoint lookup + attribute fetch per message.
         self._deliver_fns: Dict[str, Callable[[Message], None]] = {}
@@ -51,6 +52,7 @@ class Network(Component):
         self._deliver_fns[component.name] = component.deliver
         if broadcast_member:
             self._broadcast_group.append(component.name)
+            self._broadcast_members.add(component.name)
 
     def endpoint(self, name: str) -> Component:
         try:
@@ -89,12 +91,23 @@ class Network(Component):
         self.sim.post_at(delivery, deliver, message)
 
     def broadcast(
-        self, message: Message, exclude: Optional[Iterable[str]] = None
+        self,
+        message: Message,
+        exclude: Optional[Iterable[str]] = None,
+        targets: Optional[Set[str]] = None,
     ) -> int:
         """Deliver copies of ``message`` to the broadcast group.
 
         Returns the number of recipients.  ``message.dst`` is rewritten per
         recipient so handlers see who the copy was addressed to.
+
+        ``targets`` selects the *sparse fan-out* path: only members of
+        the set receive a delivery event; the rest are phantom-accounted
+        (the paper's broadcast cost model — per-recipient commands,
+        traffic, and link occupancy — is still charged in full, and the
+        skipped caches' snoop counters are reconciled lazily by
+        :meth:`reconcile_sparse_accounting`).  ``targets=None`` is the
+        dense path and the behavioural reference.
         """
         excluded: Set[str] = set(exclude or ())
         excluded.add(message.src)
@@ -109,15 +122,83 @@ class Network(Component):
                 message, self.sim.now, len(recipients), excluded,
                 track=self.name,
             )
+        if targets is None:
+            for name in self._broadcast_times(message, recipients):
+                copy = message.copy_for(name)
+                self._account(copy)
+                delivery = self._delivery_time(copy)
+                deliver = self._deliver_fns[name]
+                if self.faults is not None:
+                    delivery = self.faults.on_deliver(self, copy, deliver, delivery)
+                self.sim.post_at(delivery, deliver, copy)
+            return len(recipients)
+        if self.faults is not None:
+            raise RuntimeError(
+                "sparse fan-out cannot run under a fault plan "
+                "(skipped deliveries would desynchronize the fault RNG)"
+            )
+        add = self.counters.add
+        add("sparse_broadcast_rounds")
+        skipped = 0
         for name in self._broadcast_times(message, recipients):
-            copy = message.copy_for(name)
-            self._account(copy)
-            delivery = self._delivery_time(copy)
-            deliver = self._deliver_fns[name]
-            if self.faults is not None:
-                delivery = self.faults.on_deliver(self, copy, deliver, delivery)
-            self.sim.post_at(delivery, deliver, copy)
+            if name in targets:
+                copy = message.copy_for(name)
+                self._account(copy)
+                delivery = self._delivery_time(copy)
+                self.sim.post_at(delivery, self._deliver_fns[name], copy)
+                self._endpoints[name].counters.add("sparse_net_addressed")
+            else:
+                # Phantom copy: same cost-model charges, no event.  The
+                # hook reproduces timing side effects (delta networks
+                # reserve the same links in the same order).
+                skipped += 1
+                self._phantom_delivery(message, name)
+        if skipped:
+            add("commands", skipped)
+            add("traffic_units", message.size * skipped)
+            add("sparse_deliveries_suppressed", skipped)
+        for name in excluded:
+            # Excluded members never receive the round on either path,
+            # so the lazy reconciliation must not charge them for it.
+            if name in self._broadcast_members:
+                self._endpoints[name].counters.add("sparse_net_excluded")
         return len(recipients)
+
+    def reconcile_sparse_accounting(self) -> None:
+        """Fold phantom deliveries into the skipped caches' snoop counters.
+
+        A dense useless broadcast delivery under the sparse envelope
+        (duplicate directory on, acks off) costs the recipient exactly
+        ``snoop_commands``/``snoop_useless``/``broadcast_useless``/
+        ``snoops_filtered_by_dup_directory`` — one each, nothing else.
+        Rather than paying four counter bumps per skipped cache per
+        round (which would re-introduce the O(n) the sparse path
+        removes), each round records only its addressed/excluded members
+        and this method back-fills the difference.  Idempotent: safe to
+        call from ``Machine.results()``, fingerprints, and tests in any
+        order.  The ``sparse_*`` bookkeeping counters themselves are
+        excluded from cross-machine fingerprints.
+        """
+        rounds = self.counters.get("sparse_broadcast_rounds")
+        if not rounds:
+            return
+        for name in self._broadcast_group:
+            cc = self._endpoints[name].counters
+            skipped = (
+                rounds
+                - cc.get("sparse_net_addressed")
+                - cc.get("sparse_net_excluded")
+            )
+            delta = skipped - cc.get("sparse_net_folded")
+            if delta > 0:
+                for counter in (
+                    "snoop_commands",
+                    "snoop_useless",
+                    "broadcast_useless",
+                    "snoops_filtered_by_dup_directory",
+                ):
+                    cc.add(counter, delta)
+                cc.add("sparse_net_folded", delta)
 
     # ------------------------------------------------------------------
     # Hooks for subclasses
@@ -131,6 +212,14 @@ class Network(Component):
     ) -> List[str]:
         """Hook letting subclasses reorder/meter broadcast recipients."""
         return recipients
+
+    def _phantom_delivery(self, message: Message, name: str) -> None:
+        """Timing side effects of a suppressed broadcast copy.
+
+        Fixed-latency networks have none; contention-modelling subclasses
+        must reserve the same resources a real copy would so sparse and
+        dense runs see identical link schedules.
+        """
 
     def _account(self, message: Message) -> None:
         add = self.counters.add

@@ -100,6 +100,13 @@ class DirectoryCacheController(AbstractCacheController):
         #: revoke an eject notice made stale by a crossing invalidation
         #: (DESIGN.md ambiguity #7).
         self._inflight_clean_ejects: dict = {}
+        #: Eject uids whose EJECT_REVOKE already went out.  A second
+        #: invalidation round before the EJECT_ACK would otherwise
+        #: resend the (idempotent) revoke; sending it once per notice
+        #: keeps the dense path identical to the sparse fan-out, which
+        #: stops addressing this cache after the first round removes it
+        #: from the copy-holder index.
+        self._eject_revokes_sent: set = set()
         #: Dirty ejects awaiting EJECT_ACK, block -> eject uid; lets a NAK
         #: name the eject it refused and a retry resend just the notice
         #: (the data transfer already arrived and is parked at the home).
@@ -373,6 +380,7 @@ class DirectoryCacheController(AbstractCacheController):
             ej = message.meta["ej"]
             if self._inflight_clean_ejects.get(block) == ej:
                 del self._inflight_clean_ejects[block]
+            self._eject_revokes_sent.discard(ej)
             # Retire the acked generation's retry budget even when a
             # newer eject of the same block has replaced the in-flight
             # entry: the ack is the last word on that uid, and a NAKed
@@ -689,13 +697,21 @@ class DirectoryCacheController(AbstractCacheController):
         if line is not None:
             line.reset()
             self.counters.add("invalidations_applied")
-        elif message.block in self._inflight_clean_ejects:
+        elif (
+            message.block in self._inflight_clean_ejects
+            and self._inflight_clean_ejects[message.block]
+            not in self._eject_revokes_sent
+        ):
             # Our clean EJECT for this block is in flight and the block is
             # being invalidated: the notice is stale and, processed later,
             # would wrongly collapse Present1 to Absent for the *new*
             # holder.  Revoke it — sent before our INV_ACK, so per-path
             # FIFO gets it there before this invalidation round completes.
+            # Once per notice: the revoke is idempotent at the controller.
             self.counters.add("clean_ejects_revoked")
+            self._eject_revokes_sent.add(
+                self._inflight_clean_ejects[message.block]
+            )
             self._send(
                 MessageKind.EJECT_REVOKE,
                 dst=self.home_fn(message.block),

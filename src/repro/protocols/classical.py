@@ -22,6 +22,7 @@ from typing import Callable, List, Optional
 
 from repro.cache.array import CacheArray
 from repro.cache.replacement import make_policy
+from repro.interconnect.holders import CopyHolderIndex
 from repro.interconnect.message import Message, MessageKind
 from repro.interconnect.network import Network
 from repro.memory.module import MemoryModule
@@ -73,6 +74,11 @@ class ClassicalCacheController(AbstractCacheController):
         #: §2.3's BIAS memory: recently-invalidated addresses, filtering
         #: repeated invalidation signals without a directory lookup.
         self._bias: "OrderedDict[int, None]" = OrderedDict()
+        #: Machine-wide copy-holder index, shared with every cache and
+        #: memory controller of the write-through machine (the
+        #: invalidation line is global).  Wired by the builder; caches
+        #: add themselves on fetch and self-clean on received signals.
+        self.holders: Optional[CopyHolderIndex] = None
 
     # ------------------------------------------------------------------
     # Processor interface
@@ -97,6 +103,11 @@ class ClassicalCacheController(AbstractCacheController):
                 return
             self.counters.add("read_misses")
             self.pending = _Pending(ref, callback, issue_time, phase="fetch")
+            if self.holders is not None:
+                # Join the holder set at *send* time: a store committing
+                # while the fetch is in flight must still signal us so
+                # the crossing invalidation can poison the fill.
+                self.holders.add(ref.block, self.pid)
             self._send(MessageKind.WT_FETCH, ref.block)
             return
         # Stores always go to memory; the write commits *there*, so the
@@ -170,6 +181,8 @@ class ClassicalCacheController(AbstractCacheController):
         self.pending = None
         self._bias.pop(pending.ref.block, None)  # cached again: unfilter
         self.array.fill(pending.ref.block, version=message.version, modified=False)
+        if self.holders is not None:
+            self.holders.add(pending.ref.block, self.pid)
         self.oracle.check_read(
             pending.ref.block, message.version, pending.issue_time, self.pid
         )
@@ -199,6 +212,8 @@ class ClassicalCacheController(AbstractCacheController):
                 and pending.ref.block == block
             ):
                 pending.stale_fill = True
+            elif self.holders is not None and not self._holder_pinned(block):
+                self.holders.discard(block, self.pid)
             return
         line = self.array.lookup(block)
         present = line is not None
@@ -208,6 +223,13 @@ class ClassicalCacheController(AbstractCacheController):
             self.counters.add("snoop_useful")
         else:
             self.counters.add("snoop_useless")
+        if self.holders is not None and (
+            present or not self._holder_pinned(block)
+        ):
+            # Self-cleaning: a destroyed copy leaves the index, and a
+            # useless signal scrubs a member gone stale through a silent
+            # eviction — unless an in-flight fetch/eject pins it.
+            self.holders.discard(block, self.pid)
         self._bias_remember(block)
         if (
             pending is not None
@@ -219,6 +241,17 @@ class ClassicalCacheController(AbstractCacheController):
             self._use_array(stolen=True)
         else:
             self.counters.add("snoops_filtered_by_dup_directory")
+
+    def _holder_pinned(self, block: int) -> bool:
+        """True while this cache must stay in the holder index for
+        ``block`` despite holding no valid line (an in-flight fetch whose
+        fill can still be poisoned)."""
+        pending = self.pending
+        return (
+            pending is not None
+            and pending.phase == "fetch"
+            and pending.ref.block == block
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -279,6 +312,11 @@ class ClassicalMemoryController(AbstractMemoryController):
         self.oracle = oracle
         #: Populated by the builder with every cache in the system.
         self.caches: List[ClassicalCacheController] = []
+        #: Shared copy-holder index (same object as the caches'), wired
+        #: by the builder only when ``config.sparse_fanout`` is set:
+        #: the invalidation line then signals only its members instead
+        #: of every cache.  None on the dense path.
+        self.holders: Optional[CopyHolderIndex] = None
 
     def deliver(self, message: Message) -> None:
         if message.kind is MessageKind.WT_FETCH:
@@ -311,12 +349,7 @@ class ClassicalMemoryController(AbstractMemoryController):
             message.block, version, self.sim.now, message.requester
         )
         self.counters.add("stores_committed")
-        # Synchronous invalidation line: every other cache sees the store
-        # address now (each signal is one command on the line).
-        for cache in self.caches:
-            if cache.pid != message.requester:
-                self.counters.add("invalidation_signals")
-                cache.apply_invalidation(message.block, message.requester)
+        self._signal_invalidations(message.block, message.requester)
         self.net.send(
             Message(
                 kind=MessageKind.WT_ACK,
@@ -327,6 +360,46 @@ class ClassicalMemoryController(AbstractMemoryController):
                 requester=message.requester,
             )
         )
+
+    def _signal_invalidations(
+        self, block: int, writer_pid: int
+    ) -> Optional[List[int]]:
+        """Run one invalidation-line round.
+
+        Dense: every other cache sees the store address (each signal is
+        one command on the line); returns None.  Sparse: only current
+        holder-index members are called and their pids returned — the
+        paper's cost model (one ``invalidation_signals`` per other
+        cache) is still charged in full, and the skipped caches' snoop
+        counters are reconciled lazily from the per-round
+        ``sparse_line_*`` bookkeeping (see
+        ``Machine.reconcile_sparse_counters``).  The target list is
+        snapshotted before signalling: ``apply_invalidation`` mutates
+        the index, and subclasses (twobit_wt) re-walk the same list to
+        collect eviction-notice revocations.
+        """
+        caches = self.caches
+        if self.holders is not None:
+            self.counters.add("sparse_line_rounds")
+            targets = [
+                p for p in sorted(self.holders.holders(block))
+                if p != writer_pid
+            ]
+            for pid in targets:
+                cache = caches[pid]
+                cache.apply_invalidation(block, writer_pid)
+                cache.counters.add("sparse_line_addressed")
+            caches[writer_pid].counters.add("sparse_line_excluded")
+            self.counters.add("invalidation_signals", len(caches) - 1)
+            self.counters.add(
+                "sparse_signals_suppressed", len(caches) - 1 - len(targets)
+            )
+            return targets
+        for cache in caches:
+            if cache.pid != writer_pid:
+                self.counters.add("invalidation_signals")
+                cache.apply_invalidation(block, writer_pid)
+        return None
 
     def quiescent(self) -> bool:
         return True

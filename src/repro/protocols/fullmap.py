@@ -481,6 +481,14 @@ class FullMapDirectoryController(AbstractMemoryController):
         )
         self.counters.add("data_grants")
 
+    def copy_holders(self, block: int):
+        """Exact pids holding a valid copy of ``block`` (the full map).
+
+        Mirrors ``TwoBitDirectoryController.copy_holders`` so tests can
+        compare the sparse superset index against the precise map.
+        """
+        return frozenset(self.directory.entry(block).owners)
+
     @staticmethod
     def _cache_name(pid: int) -> str:
         return f"cache{pid}"

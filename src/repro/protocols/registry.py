@@ -146,11 +146,21 @@ def _assemble_fullmap_local(ctx: BuildContext) -> Assembly:
 
 
 def _assemble_write_through(ctx: BuildContext, cache_cls, ctrl_cls) -> Assembly:
+    from repro.interconnect.holders import CopyHolderIndex
+
     caches = _directory_caches(ctx, cache_cls)
+    # One machine-wide copy-holder index, wired only on the sparse
+    # path so the dense invalidation line pays nothing for it: the
+    # line is a global resource, so every cache and every memory
+    # controller share the same membership view.
+    holders = CopyHolderIndex() if ctx.config.sparse_fanout else None
+    for cache in caches:
+        cache.holders = holders
     controllers = []
     for i, module in enumerate(ctx.modules):
         ctrl = ctrl_cls(ctx.sim, i, ctx.config, ctx.net, module, ctx.oracle)
         ctrl.caches = caches
+        ctrl.holders = holders
         controllers.append(ctrl)
     return caches, controllers, []
 

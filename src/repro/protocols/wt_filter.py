@@ -89,6 +89,13 @@ class WTFilterCacheController(ClassicalCacheController):
         """
         return self._inflight_ejects.get(block)
 
+    def _holder_pinned(self, block: int) -> bool:
+        # An in-flight eviction notice pins holder-index membership: the
+        # controller collects revocations from the caches it signals, so
+        # a sparse round must still reach this cache until the notice is
+        # acknowledged.
+        return block in self._inflight_ejects or super()._holder_pinned(block)
+
     def quiescent(self) -> bool:
         return super().quiescent() and not self._inflight_ejects
 
@@ -188,14 +195,6 @@ class WTFilterMemoryController(ClassicalMemoryController):
             )
         else:
             super()._commit_store(message)
-            # Inside the (synchronous) invalidation round, collect
-            # revocations for eviction notices made stale by it.
-            for cache in self.caches:
-                if cache.pid == message.requester:
-                    continue
-                uid = cache.stale_eject_uid(block)
-                if uid is not None:
-                    self._revoked[(cache.name, block)] = uid
         # Post-store state: the writer's copy (if it had one) is the
         # only survivor; with no-write-allocate a missing writer leaves
         # the block uncached.
@@ -203,3 +202,22 @@ class WTFilterMemoryController(ClassicalMemoryController):
             block,
             GlobalState.PRESENT1 if writer_hit else GlobalState.ABSENT,
         )
+
+    def _signal_invalidations(self, block, writer_pid):
+        targets = super()._signal_invalidations(block, writer_pid)
+        # Inside the (synchronous) invalidation round, collect
+        # revocations for eviction notices made stale by it.  Walking
+        # the signalled pids is exhaustive on both paths: an in-flight
+        # notice pins its sender in the holder index (_holder_pinned),
+        # so a sparse round (targets is a pid list) cannot skip a cache
+        # with one; a dense round (targets is None) scans every cache.
+        signalled = (
+            (c for c in self.caches if c.pid != writer_pid)
+            if targets is None
+            else (self.caches[pid] for pid in targets)
+        )
+        for cache in signalled:
+            uid = cache.stale_eject_uid(block)
+            if uid is not None:
+                self._revoked[(cache.name, block)] = uid
+        return targets

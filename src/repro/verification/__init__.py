@@ -1,6 +1,7 @@
 """Verification layer: oracle, audits, model checker, differential harness."""
 
 from repro.verification.audit import AuditReport, audit_machine
+from repro.verification.fingerprint import machine_fingerprint, machine_parts
 from repro.verification.differential import (
     DifferentialReport,
     Divergence,
@@ -47,6 +48,8 @@ __all__ = [
     "describe_entry",
     "explore",
     "format_schedule",
+    "machine_fingerprint",
+    "machine_parts",
     "make_scenario",
     "parse_schedule",
     "random_refs",

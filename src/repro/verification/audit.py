@@ -61,6 +61,8 @@ def audit_machine(machine) -> AuditReport:
         _audit_twobit_directory(machine, report)
     elif protocol in ("fullmap", "fullmap_local"):
         _audit_fullmap_directory(machine, report)
+    if protocol in ("twobit", "twobit_wt", "classical"):
+        _audit_holder_index(machine, report)
     if machine.oracle.violations:
         for violation in machine.oracle.violations:
             report.fail(f"oracle: {violation}")
@@ -164,6 +166,41 @@ def _audit_tbuf_entry(ctrl, block, copies, report: AuditReport) -> None:
             f"block {block}: translation buffer says {sorted(owners)}, "
             f"actual holders {sorted(actual)}"
         )
+
+
+def _audit_holder_index(machine, report: AuditReport) -> None:
+    """Sparse fan-out soundness: every valid copy is an index member.
+
+    The copy-holder index may carry stale extra members (silent
+    evictions self-clean lazily) but must never *miss* a holder — a
+    missed holder would be skipped by a sparse invalidation round.
+    Skipped on dense machines (the index is only maintained when
+    ``sparse_fanout`` is set) and under a fault plan: NAK-driven
+    reorderings are outside the sparse envelope and the advisory index
+    does not track them.
+    """
+    if not machine.config.sparse_fanout or machine.faults is not None:
+        return
+    indexes = [
+        holders
+        for ctrl in machine.controllers
+        if (holders := getattr(ctrl, "holders", None)) is not None
+    ]
+    if not indexes:
+        return
+    for block in range(machine.config.n_blocks):
+        actual = {pid for pid, _ in _lines_by_block(machine, block)}
+        if not actual:
+            continue
+        members = set()
+        for holders in indexes:
+            members |= holders.holders(block)
+        missing = actual - members
+        if missing:
+            report.fail(
+                f"block {block}: holder index {sorted(members)} misses "
+                f"cached copies at pids {sorted(missing)}"
+            )
 
 
 def _audit_fullmap_directory(machine, report: AuditReport) -> None:

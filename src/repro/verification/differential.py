@@ -100,6 +100,7 @@ def random_refs(
 def _build_lockstep_machine(
     protocol: str, n_processors: int, n_blocks: int,
     cache_sets: int, cache_assoc: int, engine: str = "interpreted",
+    options=None, sparse: bool = False, n_modules: int = 1,
 ):
     # NOTE: imported here, not at module scope — the system builder
     # imports the component classes whose modules import this package
@@ -107,15 +108,22 @@ def _build_lockstep_machine(
     from repro.system.builder import build_machine
 
     spec = registry.resolve(protocol)
+    if options is None and sparse:
+        from repro.config import sparse_options
+
+        options = sparse_options()
+    kwargs = {} if options is None else {"options": options}
     config = MachineConfig(
         n_processors=n_processors,
-        n_modules=1,
+        n_modules=n_modules,
         n_blocks=n_blocks,
         cache_sets=cache_sets,
         cache_assoc=cache_assoc,
         protocol=spec.name,
         network=spec.default_network(),
         strict_coherence=True,
+        sparse_fanout=sparse,
+        **kwargs,
     )
     # Empty scripts: the harness drives the caches directly.
     workload = ScriptedWorkload([[] for _ in range(n_processors)])
@@ -129,6 +137,9 @@ def run_lockstep(
     cache_assoc: int = 2,
     faults: Optional[FaultSpec] = None,
     engine: str = "interpreted",
+    options=None,
+    sparse: bool = False,
+    n_modules: int = 1,
 ) -> ProtocolTrace:
     """Drive ``refs`` serially (full drain between ops) through ``protocol``.
 
@@ -148,7 +159,7 @@ def run_lockstep(
     n_blocks = max(r.block for r in refs) + 1 if refs else 1
     machine = _build_lockstep_machine(
         protocol, n_processors, n_blocks, cache_sets, cache_assoc,
-        engine=engine,
+        engine=engine, options=options, sparse=sparse, n_modules=n_modules,
     )
     if faults is not None:
         attach_faults(machine, faults)
@@ -189,6 +200,9 @@ def run_differential(
     cache_assoc: int = 2,
     faults: Optional[FaultSpec] = None,
     engine: str = "interpreted",
+    options=None,
+    sparse: bool = False,
+    n_modules: int = 1,
 ) -> DifferentialReport:
     """Replay ``refs`` through every protocol and diff against ``reference``.
 
@@ -220,6 +234,9 @@ def run_differential(
             cache_assoc=cache_assoc,
             faults=faults,
             engine=engine,
+            options=options,
+            sparse=sparse,
+            n_modules=n_modules,
         )
         for name in (registry.canonical_name(n) for n in names)
     }

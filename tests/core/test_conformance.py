@@ -47,7 +47,7 @@ class StubNet:
     def send(self, message: Message) -> None:
         self.sent.append(self._label(message))
 
-    def broadcast(self, message: Message, exclude=None) -> int:
+    def broadcast(self, message: Message, exclude=None, targets=None) -> int:
         self.sent.append(self._label(message))
         excluded = set(exclude or ())
         recipients = [
