@@ -135,50 +135,20 @@ def build_record(payload: dict) -> dict:
 def check_gate(record: dict, stored: dict, tolerance: float) -> list:
     """Calibrated regression check; returns the names that failed.
 
-    Benches present in the fresh run but absent from the stored file
-    (e.g. newly added ones) are skipped — they gain a bar the next time
-    the file is re-recorded.
+    Delegates to :func:`repro.obs.report.calibrated_regressions` — the
+    same comparison the ``repro report`` rollup path uses, so the CI
+    gate and the fleet report can never disagree about what counts as a
+    regression.
     """
-    current = record["benchmarks"]
-    baseline = stored["benchmarks"]
-    if GATE_CALIBRATOR not in current or GATE_CALIBRATOR not in baseline:
-        raise SystemExit(f"gate: calibrator bench {GATE_CALIBRATOR} missing")
-    # A real regression shifts both the mean and the floor (min); host
-    # noise usually inflates only one of them in any given run.  Judge
-    # each bench by whichever statistic looks better, so the gate stays
-    # meaningful on loud shared runners without going soft on genuine
-    # slowdowns.
-    stats = ("mean_s", "min_s")
-    kernel_ratio = {
-        s: current[GATE_CALIBRATOR][s] / baseline[GATE_CALIBRATOR][s]
-        for s in stats
-    }
-    print(
-        "gate: host calibration "
-        + ", ".join(f"{s} x{kernel_ratio[s]:.3f}" for s in stats)
-        + f" ({GATE_CALIBRATOR})"
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.obs.report import calibrated_regressions
+
+    return calibrated_regressions(
+        record["benchmarks"],
+        stored["benchmarks"],
+        calibrator=GATE_CALIBRATOR,
+        tolerance=tolerance,
     )
-    failed = []
-    for name, entry in current.items():
-        if name == GATE_CALIBRATOR:
-            continue
-        if name not in baseline:
-            print(f"gate: {name}: no stored baseline, skipped")
-            continue
-        overheads = {
-            s: (entry[s] / baseline[name][s]) / kernel_ratio[s] - 1
-            for s in stats
-        }
-        overhead = min(overheads.values())
-        verdict = "ok" if overhead <= tolerance else "FAIL"
-        print(
-            f"gate: {name}: calibrated overhead "
-            + ", ".join(f"{s} {overheads[s]:+.1%}" for s in stats)
-            + f" (limit +{tolerance:.0%}): {verdict}"
-        )
-        if overhead > tolerance:
-            failed.append(name)
-    return failed
 
 
 def main() -> int:

@@ -36,7 +36,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence
 from repro.config import MachineConfig, ProtocolOptions
 from repro.protocols import registry
 from repro.runner.seeds import derive_seed
-from repro.runner.sweep import SweepPoint, SweepReport
+from repro.runner.sweep import SweepPoint, SweepReport, WithMetrics
 from repro.system.machine import Machine, SimulationResults
 from repro.verification.audit import AuditReport, audit_machine
 from repro.workloads.synthetic import DuboisBriggsWorkload
@@ -286,6 +286,8 @@ class Experiment:
         max_retries: int = 2,
         stall_timeout: Optional[float] = None,
         verbose: bool = False,
+        instrument: bool = False,
+        progress_out: Optional[Any] = None,
     ) -> SweepReport:
         """Run the cross-product of ``axes`` over this experiment.
 
@@ -299,11 +301,20 @@ class Experiment:
         ``checkpoint_every`` set, a shard interrupted by worker death
         resumes from its last checkpoint instead of recomputing.
         Elastic and plain sweeps share the same result cache entries.
+
+        ``instrument=True`` runs every point with the observability hub
+        attached and caches each point's telemetry alongside its result
+        (see :attr:`SweepReport.metrics_by_key` and
+        :mod:`repro.obs.rollup`); instrumented and bare points occupy
+        distinct cache entries.  ``progress_out`` (path, file-like, or
+        :class:`~repro.obs.progress.ProgressStream`) streams the
+        schema-stamped JSONL lifecycle events described in
+        :mod:`repro.obs.progress`.
         """
         from repro.runner.elastic import run_sweep_elastic
         from repro.runner.sweep import run_sweep
 
-        points = self.sweep_points(axes)
+        points = self.sweep_points(axes, instrument=instrument)
         name = label if label is not None else f"{self.protocol}-grid"
         if elastic:
             return run_sweep_elastic(
@@ -317,6 +328,7 @@ class Experiment:
                 checkpoint_dir=checkpoint_dir,
                 max_retries=max_retries,
                 stall_timeout=stall_timeout,
+                progress_out=progress_out,
             )
         return run_sweep(
             points,
@@ -325,10 +337,13 @@ class Experiment:
             use_cache=use_cache,
             label=name,
             verbose=verbose,
+            progress_out=progress_out,
         )
 
     def sweep_points(
-        self, axes: Mapping[str, Sequence[Any]]
+        self,
+        axes: Mapping[str, Sequence[Any]],
+        instrument: bool = False,
     ) -> List[SweepPoint]:
         """The :class:`SweepPoint` grid :meth:`sweep` would run."""
         base = self.to_kwargs()
@@ -343,6 +358,11 @@ class Experiment:
             kwargs["seed"] = derive_seed(
                 self.seed, *(repr(overrides[name]) for name in names)
             )
+            if instrument:
+                # Part of the point kwargs, hence part of the cache key:
+                # instrumented results carry a telemetry payload, so they
+                # must never alias a bare point's cache entry.
+                kwargs["instrument"] = True
             key = tuple(sorted(overrides.items()))
             points.append(SweepPoint(fn=run_point, kwargs=kwargs, key=key))
         return points
@@ -435,8 +455,9 @@ def resume(
 def run_point(
     checkpoint_every: int = 0,
     checkpoint_path: Optional[str] = None,
+    instrument: bool = False,
     **kwargs: Any,
-) -> Dict[str, Any]:
+) -> Any:
     """Sweep point function: one experiment -> ``results.to_dict()``.
 
     Module-level (picklable by reference) and cache-keyed on ``kwargs``
@@ -445,13 +466,30 @@ def run_point(
     ``checkpoint_path`` already exists the simulation *resumes* from it
     instead of restarting: that is how a retried elastic shard avoids
     recomputing cycles it already simulated.
+
+    With ``instrument=True`` (part of the cache key when set by
+    :meth:`Experiment.sweep_points`) the run is observed and the return
+    value is a :class:`~repro.runner.sweep.WithMetrics` wrapping the
+    results dict plus :func:`repro.obs.machine_metrics` telemetry —
+    cached together, so warm sweeps still have metrics to roll up.
+    Instrumentation is observation-only: the results dict is
+    bit-identical to a bare run's.
     """
     if checkpoint_path and os.path.exists(checkpoint_path):
         outcome = resume(
             checkpoint_path, checkpoint_every=checkpoint_every
         )
-        return outcome.results.to_dict()
-    outcome = Experiment(**kwargs).run(
-        checkpoint_every=checkpoint_every, checkpoint_path=checkpoint_path
-    )
-    return outcome.results.to_dict()
+    else:
+        outcome = Experiment(**kwargs).run(
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            instrument=instrument,
+        )
+    results = outcome.results.to_dict()
+    if outcome.obs is not None:
+        from repro.obs import machine_metrics
+
+        return WithMetrics(
+            results, machine_metrics(outcome.machine, outcome.obs)
+        )
+    return results

@@ -5,6 +5,7 @@ Commands:
 * ``run``      — simulate one machine and print results + audit verdict.
 * ``trace``    — simulate with full telemetry and export a Perfetto trace.
 * ``sweep``    — run a parameter grid (cached, optionally elastic).
+* ``report``   — comparative rollup over the cached sweep store.
 * ``tables``   — print the paper's Table 4-1 / Table 4-2 / thresholds.
 * ``topology`` — render the Figure 3-1 system for a configuration.
 * ``compare``  — run every protocol on one workload, tabulated.
@@ -310,13 +311,10 @@ def _coerce_axis_value(name: str, text: str, base: dict):
     return text.strip()
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.runner import SweepError
-
-    experiment = _experiment_from_args(args)
-    base = experiment.to_kwargs()
+def _parse_axes(axis_items, base: dict, command: str = "sweep") -> dict:
+    """``--axis NAME=V1,V2,...`` items -> ``{name: [values]}``."""
     axes = {}
-    for item in args.axis:
+    for item in axis_items:
         name, sep, values = item.partition("=")
         name = name.strip().replace("-", "_")
         if not sep or not values:
@@ -331,7 +329,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             for value in values.split(",")
         ]
     if not axes:
-        raise SystemExit("sweep needs at least one --axis NAME=V1,V2,...")
+        raise SystemExit(f"{command} needs at least one --axis NAME=V1,V2,...")
+    return axes
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import SweepError
+
+    experiment = _experiment_from_args(args)
+    axes = _parse_axes(args.axis, experiment.to_kwargs())
     try:
         report = experiment.sweep(
             axes,
@@ -345,6 +351,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             stall_timeout=args.stall_timeout,
             verbose=args.verbose,
+            instrument=args.metrics,
+            progress_out=args.progress_out,
         )
     except SweepError as exc:
         raise SystemExit(str(exc))
@@ -363,6 +371,94 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     print(table.render())
     print(report.summary())
+    if args.progress_out:
+        print(f"progress events streamed to {args.progress_out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Comparative rollup report from the cached sweep result store."""
+    import json
+    import os
+
+    from repro.obs.report import build_report, render_markdown
+    from repro.obs.rollup import rollup_results
+    from repro.runner.cache import ResultCache, default_cache_dir
+    from repro.runner.sweep import WithMetrics
+
+    experiment = _experiment_from_args(args)
+    axes = _parse_axes(args.axis, experiment.to_kwargs(), command="report")
+    cache = ResultCache(
+        args.cache_dir if args.cache_dir is not None else default_cache_dir()
+    )
+    # Prefer instrumented cache entries (results + telemetry buckets);
+    # fall back to bare ones, whose counters still roll up.
+    instrumented = experiment.sweep_points(axes, instrument=True)
+    bare = experiment.sweep_points(axes)
+    runs, missing, to_run = [], [], []
+    for point_i, point_b in zip(instrumented, bare):
+        label = ", ".join(f"{k}={v}" for k, v in point_i.key)
+        hit, value = cache.get(cache.key_for(point_i.fn, point_i.kwargs))
+        if not hit:
+            hit, value = cache.get(cache.key_for(point_b.fn, point_b.kwargs))
+        if not hit:
+            (to_run if args.run_missing else missing).append(
+                (label, point_i)
+            )
+            continue
+        if isinstance(value, WithMetrics):
+            runs.append((value.value, value.metrics, label))
+        else:
+            runs.append((value, None, label))
+    if to_run:
+        print(
+            f"executing {len(to_run)} missing point(s) (instrumented)...",
+            file=sys.stderr,
+        )
+        for label, point in to_run:
+            value = point.fn(**point.kwargs)
+            cache.put(cache.key_for(point.fn, point.kwargs), value)
+            if isinstance(value, WithMetrics):
+                runs.append((value.value, value.metrics, label))
+            else:
+                runs.append((value, None, label))
+    if not runs:
+        raise SystemExit(
+            f"report: no cached results for this grid in {cache.directory} "
+            "(run `repro sweep --metrics` with the same axes first, or "
+            "pass --run-missing)"
+        )
+
+    bench_path = args.bench
+    if bench_path is None and os.path.exists("BENCH_kernel.json"):
+        bench_path = "BENCH_kernel.json"
+    report = build_report(
+        rollup_results(runs, group_by=args.group_by),
+        group_by=args.group_by,
+        baseline=args.baseline,
+        label=args.label if args.label else f"{experiment.protocol}-grid",
+        missing=[label for label, _ in missing],
+        bench_path=bench_path,
+        bench_tolerance=args.bench_tolerance,
+    )
+    rendered = (
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+        if args.format == "json"
+        else render_markdown(report)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"report written to {args.out}")
+    else:
+        print(rendered, end="")
+    regressed = (report.get("bench") or {}).get("regressed", [])
+    if regressed:
+        print(
+            f"report: bench regression(s): {', '.join(regressed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -678,8 +774,64 @@ def make_parser() -> argparse.ArgumentParser:
                          "this (elastic only)")
     p_sweep.add_argument("--label", default=None,
                          help="sweep name for the summary/cache metadata")
+    p_sweep.add_argument("--metrics", action="store_true",
+                         help="instrument every point and cache its "
+                         "telemetry with the result (feeds `repro "
+                         "report` rollups; results stay bit-identical)")
+    p_sweep.add_argument("--progress-out", default=None, metavar="PATH",
+                         help="stream schema-stamped JSONL lifecycle "
+                         "events (manifest, per-point lifecycle, worker "
+                         "heartbeats) to PATH as the sweep runs; emitted "
+                         "supervisor-side, so SIGKILLed workers still get "
+                         "terminal events (schema: docs/observability.md)")
     p_sweep.add_argument("-v", "--verbose", action="store_true")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report",
+        help="comparative rollup report from the cached sweep store",
+        description="Aggregate cached sweep results (run `repro sweep "
+        "--metrics` first) into per-group comparatives — broadcast "
+        "overhead, NAK/retry cost, merged-bucket latency percentiles — "
+        "plus a bench-history regression check over BENCH_kernel.json.",
+    )
+    p_report.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                          default="twobit")
+    _add_machine_args(p_report)
+    _add_faults_arg(p_report)
+    p_report.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2,...",
+        help="the sweep grid to report over; repeatable (must match the "
+        "axes the sweep ran with)",
+    )
+    p_report.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="result cache directory (default: "
+                          ".sweep_cache or $REPRO_SWEEP_CACHE)")
+    p_report.add_argument("--group-by", default="protocol",
+                          metavar="FIELD",
+                          help="results field to group rollups by "
+                          "(default: protocol)")
+    p_report.add_argument("--baseline", default=None, metavar="GROUP",
+                          help="baseline group for the comparison column "
+                          "(default: fullmap when present)")
+    p_report.add_argument("--format", choices=("md", "json"), default="md",
+                          help="render markdown (default) or the raw "
+                          "JSON report document")
+    p_report.add_argument("--out", default=None, metavar="PATH",
+                          help="write the report here instead of stdout")
+    p_report.add_argument("--run-missing", action="store_true",
+                          help="execute (instrumented) any grid point "
+                          "missing from the cache instead of listing it")
+    p_report.add_argument("--bench", default=None, metavar="PATH",
+                          help="bench record for the regression section "
+                          "(default: ./BENCH_kernel.json when present)")
+    p_report.add_argument("--bench-tolerance", type=float, default=0.02,
+                          metavar="FRAC",
+                          help="flag benches below (1-FRAC) of their seed "
+                          "baseline speedup (default: 0.02)")
+    p_report.add_argument("--label", default=None,
+                          help="report title (default: <protocol>-grid)")
+    p_report.set_defaults(fn=cmd_report)
 
     p_tables = sub.add_parser("tables", help="print the paper's tables")
     p_tables.add_argument(

@@ -31,24 +31,41 @@ from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
     metrics_records,
+    read_metrics_jsonl,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.progress import (
+    PROGRESS_EVENTS,
+    ProgressStream,
+    read_progress,
+)
+from repro.obs.report import build_report, render_markdown
+from repro.obs.rollup import GroupRollup, rollup_outcomes, rollup_results
 from repro.obs.sampler import TimeSeriesSampler
 
 __all__ = [
     "OUTCOMES",
     "PHASES",
+    "PROGRESS_EVENTS",
+    "GroupRollup",
     "Observability",
     "ObsEvent",
+    "ProgressStream",
     "TimeSeriesSampler",
     "TransactionSpan",
+    "build_report",
     "chrome_trace",
     "chrome_trace_events",
     "instrument_machine",
     "machine_metrics",
     "machine_metrics_records",
     "metrics_records",
+    "read_metrics_jsonl",
+    "read_progress",
+    "render_markdown",
+    "rollup_outcomes",
+    "rollup_results",
     "write_chrome_trace",
     "write_jsonl",
 ]

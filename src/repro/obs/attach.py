@@ -129,21 +129,43 @@ def _system_sampler(machine, obs: Observability, interval: int):
 
 
 def machine_metrics(machine, obs: Observability) -> Dict[str, Any]:
-    """Compact metrics dict for one run (the sweep-point payload)."""
+    """Compact metrics dict for one run (the sweep-point payload).
+
+    Schema-stamped (:mod:`repro.schema`) because this payload is cached
+    with sweep results and rolled up across runs later
+    (:mod:`repro.obs.rollup`).  Alongside the human-oriented
+    ``latency``/``phases`` summaries it carries the exact histogram
+    buckets (``latency_hist``/``phase_hist``): rollups merge buckets and
+    re-derive percentiles — averaging per-run percentiles would be
+    statistically wrong.
+    """
+    from repro.schema import stamp_record
+
     obs.flush(machine.sim.now)
-    return {
-        "protocol": machine.config.protocol,
-        "n_processors": machine.config.n_processors,
-        "cycles": machine.sim.now,
-        "latency": {
-            outcome: hist.summary()
-            for outcome, hist in sorted(obs.latency.items())
-        },
-        "phases": {
-            key: hist.summary() for key, hist in sorted(obs.phases.items())
-        },
-        "counters": machine.registry.merged().snapshot(),
-    }
+    return stamp_record(
+        {
+            "protocol": machine.config.protocol,
+            "n_processors": machine.config.n_processors,
+            "cycles": machine.sim.now,
+            "latency": {
+                outcome: hist.summary()
+                for outcome, hist in sorted(obs.latency.items())
+            },
+            "phases": {
+                key: hist.summary()
+                for key, hist in sorted(obs.phases.items())
+            },
+            "latency_hist": {
+                outcome: hist.to_dict()
+                for outcome, hist in sorted(obs.latency.items())
+            },
+            "phase_hist": {
+                key: hist.to_dict()
+                for key, hist in sorted(obs.phases.items())
+            },
+            "counters": machine.registry.merged().snapshot(),
+        }
+    )
 
 
 def machine_metrics_records(

@@ -183,16 +183,17 @@ def metrics_records(
 ) -> List[Dict[str, Any]]:
     """Flatten ``obs`` into JSONL-ready metric records (see module doc).
 
-    The leading ``run`` record is stamped with the shared results
-    :data:`~repro.schema.SCHEMA_VERSION` so downstream consumers can
-    refuse layouts they don't understand (see :mod:`repro.schema`).
+    *Every* record is stamped with the shared results
+    :data:`~repro.schema.SCHEMA_VERSION` (not just the ``run`` header):
+    fleet tooling concatenates, tails, and splits these files, so each
+    line must be checkable on its own — see
+    :func:`repro.schema.stamp_record` and :func:`read_metrics_jsonl`.
     """
-    from repro.schema import SCHEMA_VERSION
+    from repro.schema import stamp_record
 
     records: List[Dict[str, Any]] = [
         {
             "record": "run",
-            "schema_version": SCHEMA_VERSION,
             "protocol": obs.protocol,
             **(run_info or {}),
         }
@@ -220,7 +221,7 @@ def metrics_records(
             records.append(
                 {"record": "sample", "sampler": sampler.name, **window}
             )
-    return records
+    return [stamp_record(record) for record in records]
 
 
 def write_jsonl(path, records: List[Dict[str, Any]]) -> int:
@@ -229,3 +230,28 @@ def write_jsonl(path, records: List[Dict[str, Any]]) -> int:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     return len(records)
+
+
+def read_metrics_jsonl(path) -> List[Dict[str, Any]]:
+    """Parse a metrics JSONL file, checking every record's schema.
+
+    The reader-side half of the per-record stamping contract: each
+    line's ``schema_version`` is validated
+    (:class:`~repro.schema.SchemaMismatchError` on mismatch), so a
+    stale or foreign line spliced into a metrics file is rejected even
+    when the ``run`` header looks fine.
+    """
+    from repro.schema import check_schema
+
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for i, line in enumerate(handle):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            check_schema(
+                record.get("schema_version"),
+                f"{path}: metrics record on line {i + 1}",
+            )
+            records.append(record)
+    return records

@@ -1,0 +1,341 @@
+"""Comparative sweep reports + bench-regression checks (part c).
+
+:func:`build_report` turns the :mod:`repro.obs.rollup` groups into one
+JSON-ready document; :func:`render_markdown` renders it as the
+comparative table ``repro report`` prints — per-group broadcast
+overhead (the paper's Table 4-1 unit), NAK/retry cost, merged-bucket
+latency percentiles, all relative to a baseline group (``fullmap`` by
+default, the paper's full-map reference design).
+
+The performance half lives here too, shared with
+``benchmarks/record_bench.py``:
+
+* :func:`bench_history_check` reads a recorded ``BENCH_kernel.json``
+  and flags entries whose ``speedup_vs_baseline`` has dropped below
+  ``1 - tolerance`` — the cheap no-rerun check ``repro report`` folds
+  into its output.
+* :func:`calibrated_regressions` is the full rerun gate
+  (``record_bench.py --gate``): fresh timings vs the stored record,
+  divided through by a probe-free calibrator bench so host drift
+  cancels out.  One implementation, two callers — the CLI report and
+  the CI gate can never disagree about what counts as a regression.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.rollup import GroupRollup
+from repro.schema import stamp_record
+
+__all__ = [
+    "bench_history_check",
+    "build_report",
+    "calibrated_regressions",
+    "render_markdown",
+]
+
+#: Comparative columns rendered per group: (key, header, format).
+_COLUMNS: Tuple[Tuple[str, str, str], ...] = (
+    ("broadcast_overhead", "extra cmds/ref", "{:.4f}"),
+    ("commands_per_ref", "cmds/ref", "{:.4f}"),
+    ("traffic_per_ref", "traffic/ref", "{:.3f}"),
+    ("avg_latency", "avg latency", "{:.2f}"),
+    ("miss_ratio", "miss ratio", "{:.4f}"),
+    ("naks_per_ref", "naks/ref", "{:.5f}"),
+    ("retries_per_ref", "retries/ref", "{:.5f}"),
+)
+
+
+# ----------------------------------------------------------------------
+# Bench regression checks
+# ----------------------------------------------------------------------
+def bench_history_check(
+    bench_record: Mapping[str, Any], tolerance: float = 0.02
+) -> Dict[str, Any]:
+    """Flag recorded benches that regressed vs their seed baseline.
+
+    Operates purely on the stored ``BENCH_kernel.json`` (no benches are
+    re-run): an entry with ``speedup_vs_baseline`` below
+    ``1 - tolerance`` means the *recorded* state of the tree is slower
+    than the pre-optimization seed — a regression that survived a
+    re-record, which is exactly when someone should look.
+    """
+    entries: Dict[str, Any] = {}
+    regressed: List[str] = []
+    for name, entry in bench_record.get("benchmarks", {}).items():
+        unit = entry.get("unit", "ops")
+        row = {
+            "unit": unit,
+            "per_sec_mean": entry.get(f"{unit}_per_sec_mean"),
+            "speedup_vs_baseline": entry.get("speedup_vs_baseline"),
+        }
+        speedup = row["speedup_vs_baseline"]
+        if speedup is not None and speedup < 1.0 - tolerance:
+            row["regressed"] = True
+            regressed.append(name)
+        entries[name] = row
+    return {
+        "code_version": bench_record.get("code_version"),
+        "datetime": bench_record.get("datetime"),
+        "tolerance": tolerance,
+        "entries": entries,
+        "regressed": regressed,
+    }
+
+
+def calibrated_regressions(
+    current: Mapping[str, Any],
+    stored: Mapping[str, Any],
+    calibrator: str,
+    tolerance: float,
+    stats: Tuple[str, ...] = ("mean_s", "min_s"),
+    log: Callable[[str], None] = print,
+) -> List[str]:
+    """Host-calibrated bench comparison; returns the names that failed.
+
+    ``current``/``stored`` are ``{bench_name: entry}`` maps whose
+    entries carry the timing ``stats``.  The calibrator bench has no
+    probe sites on its path, so any drift it shows is the host, not the
+    code under test; every other bench's ratio is divided through by
+    it.  A real regression shifts both the mean and the floor (min);
+    host noise usually inflates only one of them in any given run —
+    each bench is judged by whichever statistic looks better, so the
+    gate stays meaningful on loud shared runners without going soft on
+    genuine slowdowns.
+
+    Benches present in ``current`` but absent from ``stored`` (newly
+    added ones) are skipped — they gain a bar the next time the record
+    is rewritten.
+    """
+    if calibrator not in current or calibrator not in stored:
+        raise SystemExit(f"gate: calibrator bench {calibrator} missing")
+    calibrator_ratio = {
+        s: current[calibrator][s] / stored[calibrator][s] for s in stats
+    }
+    log(
+        "gate: host calibration "
+        + ", ".join(f"{s} x{calibrator_ratio[s]:.3f}" for s in stats)
+        + f" ({calibrator})"
+    )
+    failed: List[str] = []
+    for name, entry in current.items():
+        if name == calibrator:
+            continue
+        if name not in stored:
+            log(f"gate: {name}: no stored baseline, skipped")
+            continue
+        overheads = {
+            s: (entry[s] / stored[name][s]) / calibrator_ratio[s] - 1
+            for s in stats
+        }
+        overhead = min(overheads.values())
+        verdict = "ok" if overhead <= tolerance else "FAIL"
+        log(
+            f"gate: {name}: calibrated overhead "
+            + ", ".join(f"{s} {overheads[s]:+.1%}" for s in stats)
+            + f" (limit +{tolerance:.0%}): {verdict}"
+        )
+        if overhead > tolerance:
+            failed.append(name)
+    return failed
+
+
+# ----------------------------------------------------------------------
+# Report document
+# ----------------------------------------------------------------------
+def build_report(
+    rollups: Mapping[str, GroupRollup],
+    group_by: str = "protocol",
+    baseline: Optional[str] = None,
+    label: str = "sweep",
+    missing: Optional[List[str]] = None,
+    bench_path: Optional[str] = None,
+    bench_tolerance: float = 0.02,
+) -> Dict[str, Any]:
+    """One JSON-ready report document over rolled-up sweep groups.
+
+    ``baseline`` picks the comparison row (``fullmap`` when present —
+    the paper's reference design — else the first group).  With
+    ``bench_path`` the stored bench record's history check is folded
+    in.
+    """
+    if baseline is None:
+        baseline = (
+            "fullmap" if "fullmap" in rollups else next(iter(rollups), None)
+        )
+    bench: Optional[Dict[str, Any]] = None
+    if bench_path is not None:
+        with open(bench_path, "r", encoding="utf-8") as handle:
+            bench = bench_history_check(
+                json.load(handle), tolerance=bench_tolerance
+            )
+        bench["path"] = str(bench_path)
+    return stamp_record(
+        {
+            "report": "sweep-rollup",
+            "label": label,
+            "group_by": group_by,
+            "baseline": baseline,
+            "groups": {
+                key: rollup.to_dict() for key, rollup in rollups.items()
+            },
+            "missing_points": list(missing or ()),
+            "bench": bench,
+        }
+    )
+
+
+def _fmt(value: Optional[float], spec: str) -> str:
+    return "-" if value is None else spec.format(value)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_markdown(report: Mapping[str, Any]) -> str:
+    """Render :func:`build_report`'s document as comparative markdown."""
+    group_by = report["group_by"]
+    baseline_key = report.get("baseline")
+    groups: Mapping[str, Any] = report["groups"]
+    lines: List[str] = [
+        f"# Sweep report: {report['label']}",
+        "",
+        f"Grouped by `{group_by}`; {len(groups)} group(s), baseline "
+        f"`{baseline_key}`.",
+        "",
+        "## Comparatives",
+        "",
+    ]
+    headers = [group_by, "runs", "refs"] + [h for _, h, _ in _COLUMNS] + [
+        "Δ overhead vs baseline"
+    ]
+    base = groups.get(baseline_key, {}).get("comparatives", {})
+    base_overhead = base.get("broadcast_overhead")
+    rows = []
+    for key, group in groups.items():
+        comp = group["comparatives"]
+        overhead = comp.get("broadcast_overhead")
+        if key == baseline_key:
+            relative = "(baseline)"
+        elif overhead is None or base_overhead is None:
+            relative = "-"
+        else:
+            # Absolute delta in the Table 4-1 unit: the full-map
+            # baseline sends zero useless broadcasts, so a ratio
+            # against it would be undefined.
+            relative = f"{overhead - base_overhead:+.4f}"
+        rows.append(
+            [key, str(group["n_runs"]), str(group["total_refs"])]
+            + [_fmt(comp.get(name), spec) for name, _, spec in _COLUMNS]
+            + [relative]
+        )
+    lines.extend(_table(headers, rows))
+
+    # Latency percentiles from merged buckets (instrumented runs only).
+    outcome_rows = []
+    for key, group in groups.items():
+        for outcome, summary in group.get("latency", {}).items():
+            outcome_rows.append(
+                [
+                    key,
+                    outcome,
+                    str(summary.get("count")),
+                    _fmt(summary.get("mean"), "{:.2f}"),
+                    _fmt(summary.get("p50"), "{:.0f}"),
+                    _fmt(summary.get("p95"), "{:.0f}"),
+                    _fmt(summary.get("p99"), "{:.0f}"),
+                    _fmt(summary.get("max"), "{:.0f}"),
+                ]
+            )
+    if outcome_rows:
+        lines += [
+            "",
+            "## Latency (merged buckets)",
+            "",
+            "Percentiles are re-derived from bucket-wise merged",
+            "histograms across every run in the group — never averaged",
+            "per-run percentiles.",
+            "",
+        ]
+        lines.extend(
+            _table(
+                [group_by, "outcome", "n", "mean", "p50", "p95", "p99",
+                 "max"],
+                outcome_rows,
+            )
+        )
+    skipped = sum(
+        g.get("runs_without_metrics", 0) for g in groups.values()
+    )
+    if skipped:
+        lines += [
+            "",
+            f"_{skipped} run(s) had no cached telemetry (bare cache "
+            "entries); their counters are included but their histograms "
+            "are not. Re-run with `--metrics` to instrument them._",
+        ]
+
+    missing = report.get("missing_points") or []
+    if missing:
+        lines += [
+            "",
+            "## Missing points",
+            "",
+            f"{len(missing)} grid point(s) had no cached result "
+            "(re-run with `--run-missing` to execute them):",
+            "",
+        ]
+        lines += [f"- `{point}`" for point in missing]
+
+    bench = report.get("bench")
+    if bench:
+        lines += [
+            "",
+            "## Bench history "
+            f"(`{bench.get('path', 'BENCH_kernel.json')}`)",
+            "",
+        ]
+        bench_rows = []
+        for name, row in bench["entries"].items():
+            speedup = row.get("speedup_vs_baseline")
+            status = (
+                "**REGRESSED**"
+                if row.get("regressed")
+                else ("ok" if speedup is not None else "-")
+            )
+            bench_rows.append(
+                [
+                    name,
+                    _fmt(row.get("per_sec_mean"), "{:,.0f}")
+                    + f" {row.get('unit', '')}/s",
+                    _fmt(speedup, "{:.2f}x"),
+                    status,
+                ]
+            )
+        lines.extend(
+            _table(
+                ["bench", "throughput", "vs seed baseline", "status"],
+                bench_rows,
+            )
+        )
+        if bench["regressed"]:
+            lines += [
+                "",
+                f"**{len(bench['regressed'])} bench(es) below "
+                f"{1 - bench['tolerance']:.0%} of the seed baseline:** "
+                + ", ".join(f"`{n}`" for n in bench["regressed"]),
+            ]
+        else:
+            lines += [
+                "",
+                f"All recorded benches within {bench['tolerance']:.0%} "
+                "of their seed baseline.",
+            ]
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,263 @@
+"""Cross-run metric rollups (fleet observability, part b).
+
+A sweep produces one result dict (and, when instrumented, one
+telemetry payload) per grid point.  This module aggregates them into
+per-group :class:`GroupRollup` objects — grouped by protocol, by
+processor count, by any results field — the mergeable form the
+``repro report`` CLI renders.
+
+Two aggregation rules are load-bearing:
+
+* **Counters merge through schema-checked payloads.**  Every cached
+  result carries its merged counter ``totals`` and the results
+  ``schema_version``; rollups feed them through
+  :meth:`~repro.stats.counters.CounterRegistry.merged` (``extra=``), so
+  a payload written under a different results schema raises
+  :class:`~repro.schema.SchemaMismatchError` instead of being silently
+  unioned into cross-run totals.
+
+* **Percentiles come from merged buckets, never from averaged
+  percentiles.**  Telemetry payloads carry the exact histogram buckets
+  (``latency_hist``/``phase_hist``); rollups merge the buckets
+  (:meth:`~repro.stats.histogram.Histogram.merge` is exact) and
+  re-derive p50/p95/p99 from the merged distribution.  The mean of two
+  runs' p95s is not the p95 of the pooled runs.
+
+Ref-weighted scalar rates (commands/ref, traffic/ref, ...) are pooled
+as ``sum(rate_i * refs_i) / sum(refs_i)`` so a short smoke point cannot
+drag a long run's average around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.schema import check_schema
+from repro.stats.counters import CounterRegistry, CounterSet
+from repro.stats.histogram import Histogram
+
+__all__ = ["GroupRollup", "rollup_outcomes", "rollup_results"]
+
+#: Results-dict rates pooled ref-weighted into the group rollup.
+_WEIGHTED_RATES = (
+    "extra_commands_per_ref",
+    "commands_per_ref",
+    "stolen_cycles_per_ref",
+    "processor_wait_per_ref",
+    "traffic_per_ref",
+    "avg_latency",
+    "miss_ratio",
+)
+
+#: Results-dict totals summed into the group rollup.
+_SUMMED_TOTALS = ("broadcasts", "invalidations_applied", "writebacks")
+
+
+@dataclass
+class GroupRollup:
+    """Mergeable aggregate over every run that shares one group key."""
+
+    group: str
+    n_runs: int = 0
+    points: List[str] = field(default_factory=list)
+    total_refs: int = 0
+    total_cycles: int = 0
+    #: ``sum(rate * refs)`` accumulators for the ref-weighted rates.
+    _rate_weight: Dict[str, float] = field(default_factory=dict)
+    sums: Dict[str, float] = field(default_factory=dict)
+    counters: CounterSet = field(
+        default_factory=lambda: CounterSet(owner="rollup")
+    )
+    #: Per-outcome merged latency buckets (instrumented runs only).
+    latency: Dict[str, Histogram] = field(default_factory=dict)
+    #: Per-``outcome/phase`` merged segment buckets.
+    phases: Dict[str, Histogram] = field(default_factory=dict)
+    #: Runs that carried no telemetry payload (bare cache entries).
+    runs_without_metrics: int = 0
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add_run(
+        self,
+        result: Dict[str, Any],
+        metrics: Optional[Dict[str, Any]] = None,
+        point: str = "",
+    ) -> None:
+        """Fold one run's results dict (and optional telemetry) in.
+
+        ``result`` must be the ``SimulationResults.to_dict()`` form;
+        its ``schema_version`` and its counter ``totals`` payload are
+        checked before anything is merged (see module docstring).
+        """
+        context = f"rollup group {self.group!r} point {point!r}"
+        check_schema(result.get("schema_version"), context)
+        self.n_runs += 1
+        if point:
+            self.points.append(point)
+        refs = int(result.get("total_refs", 0))
+        self.total_refs += refs
+        self.total_cycles += int(result.get("cycles", 0))
+        for name in _WEIGHTED_RATES:
+            value = result.get(name)
+            if value is None:
+                continue
+            self._rate_weight[name] = (
+                self._rate_weight.get(name, 0.0) + float(value) * refs
+            )
+        for name in _SUMMED_TOTALS:
+            self.sums[name] = self.sums.get(name, 0.0) + float(
+                result.get(name, 0)
+            )
+        # Counter totals travel as a schema-stamped payload and merge
+        # through the registry's checked path — never a raw dict union.
+        self.counters.merge(
+            CounterRegistry().merged(
+                extra=[
+                    {
+                        "schema_version": result.get("schema_version"),
+                        "owner": "total",
+                        "counters": result.get("totals", {}),
+                    }
+                ]
+            )
+        )
+        if metrics is None:
+            self.runs_without_metrics += 1
+            return
+        check_schema(metrics.get("schema_version"), f"{context} metrics")
+        for outcome, raw in metrics.get("latency_hist", {}).items():
+            self._merge_hist(self.latency, outcome, raw)
+        for key, raw in metrics.get("phase_hist", {}).items():
+            self._merge_hist(self.phases, key, raw)
+
+    @staticmethod
+    def _merge_hist(
+        into: Dict[str, Histogram], key: str, raw: Dict[str, Any]
+    ) -> None:
+        hist = into.get(key)
+        if hist is None:
+            hist = into[key] = Histogram(name=key)
+        hist.merge(Histogram.from_dict(raw))
+
+    # ------------------------------------------------------------------
+    # Derived comparatives
+    # ------------------------------------------------------------------
+    def rate(self, name: str) -> Optional[float]:
+        """Ref-weighted pooled value of one results-dict rate."""
+        if name not in self._rate_weight or not self.total_refs:
+            return None
+        return self._rate_weight[name] / self.total_refs
+
+    def per_ref(self, counter: str) -> Optional[float]:
+        """A merged counter normalized per memory reference."""
+        if not self.total_refs:
+            return None
+        return self.counters.get(counter) / self.total_refs
+
+    def comparatives(self) -> Dict[str, Optional[float]]:
+        """The headline comparison row for this group.
+
+        ``broadcast_overhead`` is the paper's Table 4-1 unit (useless
+        broadcast commands received per cache per reference);
+        ``naks_per_ref`` / ``retries_per_ref`` expose the NAK/retry
+        recovery cost of the fault-tolerant protocol variants.
+        """
+        retries = self.counters.get("retries_sent") or self.counters.get(
+            "retries_scheduled"
+        )
+        return {
+            "broadcast_overhead": self.rate("extra_commands_per_ref"),
+            "commands_per_ref": self.rate("commands_per_ref"),
+            "traffic_per_ref": self.rate("traffic_per_ref"),
+            "avg_latency": self.rate("avg_latency"),
+            "miss_ratio": self.rate("miss_ratio"),
+            "naks_per_ref": self.per_ref("naks_sent"),
+            "retries_per_ref": (
+                retries / self.total_refs if self.total_refs else None
+            ),
+            "broadcasts_per_ref": (
+                self.sums.get("broadcasts", 0.0) / self.total_refs
+                if self.total_refs
+                else None
+            ),
+        }
+
+    def latency_percentiles(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-outcome summaries re-derived from the *merged* buckets."""
+        return {
+            outcome: hist.summary()
+            for outcome, hist in sorted(self.latency.items())
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (what ``repro report --format json`` emits)."""
+        from repro.schema import stamp_record
+
+        return stamp_record(
+            {
+                "group": self.group,
+                "n_runs": self.n_runs,
+                "points": list(self.points),
+                "total_refs": self.total_refs,
+                "total_cycles": self.total_cycles,
+                "comparatives": self.comparatives(),
+                "counters": self.counters.snapshot(),
+                "latency": self.latency_percentiles(),
+                "phases": {
+                    key: hist.summary()
+                    for key, hist in sorted(self.phases.items())
+                },
+                "runs_without_metrics": self.runs_without_metrics,
+            }
+        )
+
+
+def _group_key(result: Dict[str, Any], group_by: str) -> str:
+    value = result.get(group_by)
+    return str(value) if value is not None else "<unknown>"
+
+
+def rollup_results(
+    runs: Iterable[
+        Tuple[Dict[str, Any], Optional[Dict[str, Any]], str]
+    ],
+    group_by: str = "protocol",
+) -> Dict[str, GroupRollup]:
+    """Group ``(result, metrics, point_label)`` triples and roll up.
+
+    ``group_by`` names any results-dict field (``protocol``,
+    ``n_processors``, ...).  Returns group key → :class:`GroupRollup`,
+    sorted by group key.
+    """
+    groups: Dict[str, GroupRollup] = {}
+    for result, metrics, point in runs:
+        key = _group_key(result, group_by)
+        rollup = groups.get(key)
+        if rollup is None:
+            rollup = groups[key] = GroupRollup(group=key)
+        rollup.add_run(result, metrics, point=point)
+    return dict(sorted(groups.items()))
+
+
+def rollup_outcomes(
+    outcomes: Iterable[Any], group_by: str = "protocol"
+) -> Dict[str, GroupRollup]:
+    """Roll up sweep :class:`~repro.runner.sweep.PointOutcome` objects.
+
+    The convenience entry point for ``SweepReport.outcomes``: each
+    outcome's ``result`` must be a results dict and its ``metrics``
+    (``None`` for bare runs) is the cached telemetry payload.
+    """
+
+    def _runs():
+        for outcome in outcomes:
+            label = outcome.point.label
+            if isinstance(label, tuple):
+                point = ", ".join(f"{k}={v}" for k, v in label)
+            else:
+                point = str(label)
+            yield outcome.result, outcome.metrics, point
+
+    return rollup_results(_runs(), group_by=group_by)

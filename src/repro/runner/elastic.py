@@ -56,13 +56,17 @@ import traceback
 from multiprocessing import connection as mp_connection
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.progress import as_progress_stream
 from repro.runner.cache import ResultCache, default_cache_dir
 from repro.runner.sweep import (
     PointOutcome,
     SweepError,
     SweepPoint,
     SweepReport,
+    _emit_manifest,
+    _emit_outcome,
     _execute,
+    _label_str,
     _record,
     _unwrap,
 )
@@ -70,6 +74,10 @@ from repro.runner.sweep import (
 #: Supervisor wake-up interval (seconds): bounds how quickly worker
 #: death / stalls are noticed without spinning.
 _HEARTBEAT = 0.05
+
+#: Seconds between ``worker-heartbeat`` progress events (when a
+#: progress stream is attached).  Module-level so tests can shrink it.
+_PROGRESS_HEARTBEAT_EVERY = 1.0
 
 
 def _mp_context():
@@ -127,12 +135,13 @@ def _elastic_worker(conn) -> None:
 class _Pool:
     """The supervised worker set (internal to :func:`run_sweep_elastic`)."""
 
-    def __init__(self, ctx, n_workers):
+    def __init__(self, ctx, n_workers, on_spawn=None):
         self.ctx = ctx
         self.procs: Dict[int, Any] = {}
         self.conns: Dict[int, Any] = {}  # pid -> parent pipe end
         self.pid_by_conn: Dict[Any, int] = {}
         self.idle: List[int] = []
+        self.on_spawn = on_spawn  # progress callback(pid), or None
         for _ in range(n_workers):
             self.spawn()
 
@@ -149,6 +158,8 @@ class _Pool:
         self.conns[proc.pid] = parent_conn
         self.pid_by_conn[parent_conn] = proc.pid
         self.idle.append(proc.pid)
+        if self.on_spawn is not None:
+            self.on_spawn(proc.pid)
 
     def dispatch(self, pid: int, idx: int, fn, kwargs) -> None:
         self.idle.remove(pid)
@@ -214,6 +225,7 @@ def run_sweep_elastic(
     checkpoint_dir: Optional[str] = None,
     max_retries: int = 2,
     stall_timeout: Optional[float] = None,
+    progress_out: Optional[Any] = None,
 ) -> SweepReport:
     """Run a sweep on the elastic pool; see the module docstring.
 
@@ -232,6 +244,12 @@ def run_sweep_elastic(
             worker death/stall before the sweep fails.
         stall_timeout: seconds a shard may hold a worker before it is
             presumed hung and its worker killed (None = no stall check).
+        progress_out: path, file-like, or ProgressStream for the JSONL
+            lifecycle event stream (None = off).  Events are emitted by
+            the supervisor, never the workers, so a SIGKILLed worker's
+            shard still gets its terminal ``worker-died`` /
+            ``point-retried`` / ``point-failed`` records, plus periodic
+            ``worker-heartbeat`` rows while the pool runs.
 
     Raises:
         SweepError: a point function raised, or a shard exhausted its
@@ -243,6 +261,9 @@ def run_sweep_elastic(
         if use_cache
         else None
     )
+    n_workers = max(1, int(workers))
+    progress = as_progress_stream(progress_out, label)
+    _emit_manifest(progress, points, n_workers, cache, elastic=True)
 
     outcomes: List[Optional[PointOutcome]] = [None] * len(points)
     pending: List[int] = []
@@ -256,127 +277,245 @@ def run_sweep_elastic(
                 outcomes[i] = PointOutcome(
                     point, value, cached=True, elapsed=0.0, metrics=metrics
                 )
+                _emit_outcome(progress, i, outcomes[i])
                 if verbose:
                     print(f"[sweep {label}] {point.label}: cached")
                 continue
         pending.append(i)
 
-    n_workers = max(1, int(workers))
     total_retries = 0
-    if pending:
-        if checkpoint_every and checkpoint_dir is None:
-            checkpoint_dir = tempfile.mkdtemp(prefix="repro-elastic-")
-        shard_paths: Dict[int, str] = {}
-        tasks: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
-        for i in pending:
-            point = points[i]
-            kwargs = dict(point.kwargs)
-            if checkpoint_every and _accepts_checkpoint(point.fn):
-                path = os.path.join(checkpoint_dir, f"shard-{i}.ckpt")
-                kwargs["checkpoint_every"] = checkpoint_every
-                kwargs["checkpoint_path"] = path
-                shard_paths[i] = path
-            tasks[i] = (point.fn, kwargs)
 
-        ctx = _mp_context()
-        pool = _Pool(ctx, min(n_workers, len(pending)))
-        backlog: List[int] = list(pending)  # indices awaiting a worker
-        owner: Dict[int, int] = {}  # worker pid -> task index
-        started_at: Dict[int, float] = {}  # worker pid -> wall clock
-        retries: Dict[int, int] = {}
-        remaining = len(pending)
-        try:
-            while remaining:
-                # Dispatch: idle workers pull from the front of the
-                # backlog — work stealing, mediated by the supervisor so
-                # ownership is always known parent-side.
-                while backlog and pool.idle:
-                    idx = backlog.pop(0)
-                    pid = pool.idle[0]
-                    pool.dispatch(pid, idx, *tasks[idx])
-                    owner[pid] = idx
-                    started_at[pid] = time.monotonic()
+    def _fail_point(idx: int, error: str, worker: Optional[int]) -> None:
+        """Terminal ``point-failed`` — emitted supervisor-side so it is
+        written even when the failure is a worker that can no longer
+        report anything itself."""
+        if progress is None:
+            return
+        failed: Dict[str, Any] = {
+            "index": idx,
+            "point": _label_str(points[idx]),
+            "error": error,
+        }
+        if worker is not None:
+            failed["worker"] = worker
+        progress.emit("point-failed", **failed)
 
-                for conn in pool.wait(_HEARTBEAT):
-                    pid = pool.pid_by_conn.get(conn)
-                    if pid is None:  # pragma: no cover - already reaped
-                        continue
-                    try:
-                        kind, idx, payload = conn.recv()
-                    except (EOFError, OSError):
-                        continue  # dead worker; reap_dead handles it
-                    if kind == "error":
-                        raise SweepError(
-                            f"sweep {label!r} point {points[idx].label!r} "
-                            f"failed:\n{payload}"
-                        )
-                    if owner.get(pid) == idx:
-                        del owner[pid]
+    try:
+        if pending:
+            if checkpoint_every and checkpoint_dir is None:
+                checkpoint_dir = tempfile.mkdtemp(prefix="repro-elastic-")
+            shard_paths: Dict[int, str] = {}
+            tasks: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+            for i in pending:
+                point = points[i]
+                kwargs = dict(point.kwargs)
+                if checkpoint_every and _accepts_checkpoint(point.fn):
+                    path = os.path.join(checkpoint_dir, f"shard-{i}.ckpt")
+                    kwargs["checkpoint_every"] = checkpoint_every
+                    kwargs["checkpoint_path"] = path
+                    shard_paths[i] = path
+                tasks[i] = (point.fn, kwargs)
+
+            on_spawn = (
+                (lambda pid: progress.emit("worker-spawned", worker=pid))
+                if progress is not None
+                else None
+            )
+            ctx = _mp_context()
+            pool = _Pool(
+                ctx, min(n_workers, len(pending)), on_spawn=on_spawn
+            )
+            backlog: List[int] = list(pending)  # indices awaiting a worker
+            owner: Dict[int, int] = {}  # worker pid -> task index
+            started_at: Dict[int, float] = {}  # worker pid -> wall clock
+            retries: Dict[int, int] = {}
+            remaining = len(pending)
+            last_heartbeat = time.monotonic()
+            try:
+                while remaining:
+                    # Dispatch: idle workers pull from the front of the
+                    # backlog — work stealing, mediated by the supervisor
+                    # so ownership is always known parent-side.
+                    while backlog and pool.idle:
+                        idx = backlog.pop(0)
+                        pid = pool.idle[0]
+                        pool.dispatch(pid, idx, *tasks[idx])
+                        owner[pid] = idx
+                        started_at[pid] = time.monotonic()
+                        if progress is not None:
+                            progress.emit(
+                                "point-running",
+                                index=idx,
+                                point=_label_str(points[idx]),
+                                worker=pid,
+                                retry=retries.get(idx, 0),
+                            )
+
+                    for conn in pool.wait(_HEARTBEAT):
+                        pid = pool.pid_by_conn.get(conn)
+                        if pid is None:  # pragma: no cover - already reaped
+                            continue
+                        try:
+                            kind, idx, payload = conn.recv()
+                        except (EOFError, OSError):
+                            continue  # dead worker; reap_dead handles it
+                        if kind == "error":
+                            _fail_point(idx, payload, pid)
+                            raise SweepError(
+                                f"sweep {label!r} point "
+                                f"{points[idx].label!r} failed:\n{payload}"
+                            )
+                        if owner.get(pid) == idx:
+                            del owner[pid]
+                            started_at.pop(pid, None)
+                            pool.mark_idle(pid)
+                        if outcomes[idx] is None:
+                            # (A stale duplicate — the task was requeued
+                            # but its first execution finished anyway —
+                            # would be dropped here.)
+                            value, elapsed = payload
+                            outcomes[idx] = _record(
+                                points[idx], value, elapsed, cache, label,
+                                verbose,
+                            )
+                            _emit_outcome(
+                                progress, idx, outcomes[idx], worker=pid
+                            )
+                            remaining -= 1
+                            path = shard_paths.get(idx)
+                            if path is not None and os.path.exists(path):
+                                os.remove(path)
+
+                    for pid in pool.reap_dead():
+                        idx = owner.pop(pid, None)
                         started_at.pop(pid, None)
-                        pool.mark_idle(pid)
-                    if outcomes[idx] is None:
-                        # (A stale duplicate — the task was requeued but
-                        # its first execution finished anyway — would be
-                        # dropped here.)
-                        value, elapsed = payload
-                        outcomes[idx] = _record(
-                            points[idx], value, elapsed, cache, label,
-                            verbose,
-                        )
-                        remaining -= 1
-                        path = shard_paths.get(idx)
-                        if path is not None and os.path.exists(path):
-                            os.remove(path)
-
-                for pid in pool.reap_dead():
-                    idx = owner.pop(pid, None)
-                    started_at.pop(pid, None)
-                    if idx is None or outcomes[idx] is not None:
-                        if remaining:
-                            pool.spawn()
-                        continue
-                    retries[idx] = retries.get(idx, 0) + 1
-                    total_retries += 1
-                    if retries[idx] > max_retries:
-                        raise SweepError(
-                            f"sweep {label!r} point {points[idx].label!r}: "
-                            f"worker died {retries[idx]} times "
-                            f"(max_retries={max_retries})"
-                        )
-                    if verbose:
-                        resume = (
-                            "resuming from checkpoint"
-                            if shard_paths.get(idx)
+                        if progress is not None:
+                            progress.emit(
+                                "worker-died", worker=pid, index=idx
+                            )
+                        if idx is None or outcomes[idx] is not None:
+                            if remaining:
+                                pool.spawn()
+                            continue
+                        retries[idx] = retries.get(idx, 0) + 1
+                        total_retries += 1
+                        if retries[idx] > max_retries:
+                            _fail_point(
+                                idx,
+                                f"worker died {retries[idx]} times "
+                                f"(max_retries={max_retries})",
+                                pid,
+                            )
+                            raise SweepError(
+                                f"sweep {label!r} point "
+                                f"{points[idx].label!r}: worker died "
+                                f"{retries[idx]} times "
+                                f"(max_retries={max_retries})"
+                            )
+                        has_checkpoint = bool(
+                            shard_paths.get(idx)
                             and os.path.exists(shard_paths[idx])
-                            else "restarting"
                         )
-                        print(
-                            f"[sweep {label}] {points[idx].label}: worker "
-                            f"{pid} died, {resume} "
-                            f"(retry {retries[idx]}/{max_retries})"
+                        if progress is not None:
+                            if has_checkpoint:
+                                progress.emit(
+                                    "point-checkpointed",
+                                    index=idx,
+                                    point=_label_str(points[idx]),
+                                    path=shard_paths[idx],
+                                )
+                            progress.emit(
+                                "point-retried",
+                                index=idx,
+                                point=_label_str(points[idx]),
+                                worker=pid,
+                                retry=retries[idx],
+                                max_retries=max_retries,
+                                resume=has_checkpoint,
+                            )
+                        if verbose:
+                            resume = (
+                                "resuming from checkpoint"
+                                if has_checkpoint
+                                else "restarting"
+                            )
+                            print(
+                                f"[sweep {label}] {points[idx].label}: "
+                                f"worker {pid} died, {resume} "
+                                f"(retry {retries[idx]}/{max_retries})"
+                            )
+                        backlog.append(idx)
+                        pool.spawn()
+
+                    if stall_timeout is not None:
+                        now = time.monotonic()
+                        for pid in list(owner):
+                            held = now - started_at.get(pid, now)
+                            if held > stall_timeout:
+                                if progress is not None:
+                                    progress.emit(
+                                        "worker-stalled",
+                                        worker=pid,
+                                        index=owner[pid],
+                                        point=_label_str(
+                                            points[owner[pid]]
+                                        ),
+                                        held_s=held,
+                                        stall_timeout=stall_timeout,
+                                    )
+                                # Killed workers surface via reap_dead.
+                                pool.kill(pid)
+
+                    if (
+                        progress is not None
+                        and time.monotonic() - last_heartbeat
+                        >= _PROGRESS_HEARTBEAT_EVERY
+                    ):
+                        last_heartbeat = time.monotonic()
+                        progress.emit(
+                            "worker-heartbeat",
+                            workers=len(pool.procs),
+                            busy=len(owner),
+                            idle=len(pool.idle),
+                            backlog=len(backlog),
+                            remaining=remaining,
                         )
-                    backlog.append(idx)
-                    pool.spawn()
+            finally:
+                pool.shutdown()
 
-                if stall_timeout is not None:
-                    now = time.monotonic()
-                    for pid in list(owner):
-                        if now - started_at.get(pid, now) > stall_timeout:
-                            # Killed workers surface via reap_dead above.
-                            pool.kill(pid)
-        finally:
-            pool.shutdown()
-
-    done: List[PointOutcome] = [o for o in outcomes if o is not None]
-    assert len(done) == len(points)
-    report = SweepReport(
-        label=label,
-        outcomes=done,
-        workers=n_workers,
-        elapsed=time.perf_counter() - started,
-        cache_dir=str(cache.directory) if cache is not None else None,
-        retries=total_retries,
-    )
+        done: List[PointOutcome] = [o for o in outcomes if o is not None]
+        assert len(done) == len(points)
+        report = SweepReport(
+            label=label,
+            outcomes=done,
+            workers=n_workers,
+            elapsed=time.perf_counter() - started,
+            cache_dir=str(cache.directory) if cache is not None else None,
+            retries=total_retries,
+        )
+        if progress is not None:
+            progress.emit(
+                "sweep-end",
+                status="ok",
+                n_points=len(points),
+                cache_hits=report.cache_hits,
+                executed=report.executed,
+                retries=total_retries,
+                elapsed=report.elapsed,
+            )
+    except BaseException as exc:
+        if progress is not None:
+            progress.emit(
+                "sweep-end",
+                status="failed",
+                error=str(exc),
+                retries=total_retries,
+                elapsed=time.perf_counter() - started,
+            )
+        raise
+    finally:
+        if progress is not None and progress is not progress_out:
+            progress.close()
     if verbose:
         print(report.summary())
     return report

@@ -15,6 +15,15 @@ whether a value came from the cache.
 Point functions must be module-level (picklable by reference) and their
 kwargs must have stable ``repr`` (builtins and the config dataclasses
 qualify); both are checked/exercised by the unit tests.
+
+Progress streaming: pass ``progress_out=`` (a path, file-like, or
+:class:`~repro.obs.progress.ProgressStream`) and the sweep emits a
+schema-stamped JSONL lifecycle stream — manifest, per-point
+queued/running/done/failed events, and a terminal summary — written
+supervisor-side so it is complete even when workers die (see
+:mod:`repro.obs.progress`).  Cache hits replay their stored telemetry
+into the stream as ``point-metrics`` events, so a warm-cache sweep
+produces the same rollup-ready stream as a cold one.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.obs.progress import ProgressStream, as_progress_stream
 from repro.runner.cache import ResultCache, default_cache_dir
 
 
@@ -132,6 +142,74 @@ class SweepReport:
         )
 
 
+def _label_str(point: SweepPoint) -> str:
+    """Human/JSON-friendly form of a point's label for progress events."""
+    label = point.label
+    if isinstance(label, tuple) and all(
+        isinstance(item, tuple) and len(item) == 2 for item in label
+    ):
+        return ", ".join(f"{k}={v}" for k, v in label)
+    return repr(label)
+
+
+def _emit_outcome(
+    progress: Optional[ProgressStream],
+    index: int,
+    outcome: PointOutcome,
+    worker: Optional[int] = None,
+) -> None:
+    """``point-done`` (+ ``point-metrics``) for one completed point.
+
+    Called for cache hits too: replaying a hit's cached ``WithMetrics``
+    payload into the stream is what keeps reports complete on warm
+    caches — without it, a fully cached sweep would stream no telemetry
+    at all.
+    """
+    if progress is None:
+        return
+    point = _label_str(outcome.point)
+    done: Dict[str, Any] = {
+        "index": index,
+        "point": point,
+        "cached": outcome.cached,
+        "elapsed": outcome.elapsed,
+    }
+    if worker is not None:
+        done["worker"] = worker
+    progress.emit("point-done", **done)
+    if outcome.metrics is not None:
+        progress.emit(
+            "point-metrics",
+            index=index,
+            point=point,
+            cached=outcome.cached,
+            metrics=outcome.metrics,
+        )
+
+
+def _emit_manifest(
+    progress: Optional[ProgressStream],
+    points: Sequence[SweepPoint],
+    workers: int,
+    cache: Optional[ResultCache],
+    elastic: bool,
+) -> None:
+    """The ``sweep-begin`` run manifest + one ``point-queued`` each."""
+    if progress is None:
+        return
+    progress.emit(
+        "sweep-begin",
+        n_points=len(points),
+        workers=workers,
+        elastic=elastic,
+        cache_dir=str(cache.directory) if cache is not None else None,
+        code_version=cache.version if cache is not None else None,
+        points=[_label_str(p) for p in points],
+    )
+    for i, point in enumerate(points):
+        progress.emit("point-queued", index=i, point=_label_str(point))
+
+
 def _execute(
     fn: Callable[..., Any], kwargs: Dict[str, Any]
 ) -> Tuple[Any, float]:
@@ -160,6 +238,7 @@ def run_sweep(
     use_cache: bool = True,
     label: str = "sweep",
     verbose: bool = False,
+    progress_out: Optional[Any] = None,
 ) -> SweepReport:
     """Run every point, in parallel, consulting/filling the result cache.
 
@@ -173,6 +252,9 @@ def run_sweep(
             *or* written).
         label: sweep name for the summary line.
         verbose: print a progress line per point.
+        progress_out: path, file-like, or ProgressStream for the JSONL
+            lifecycle event stream (None = off); see
+            :mod:`repro.obs.progress`.
 
     Raises:
         SweepError: if any point raises; the original exception chains.
@@ -183,54 +265,107 @@ def run_sweep(
         if use_cache
         else None
     )
+    n_workers = 1 if workers is None else max(1, int(workers))
+    progress = as_progress_stream(progress_out, label)
+    _emit_manifest(progress, points, n_workers, cache, elastic=False)
 
     outcomes: List[Optional[PointOutcome]] = [None] * len(points)
     pending: List[int] = []
-    for i, point in enumerate(points):
-        if cache is not None:
-            hit, value = cache.get(cache.key_for(point.fn, point.kwargs))
-            if hit:
-                value, metrics = _unwrap(value)
-                outcomes[i] = PointOutcome(
-                    point, value, cached=True, elapsed=0.0, metrics=metrics
-                )
-                if verbose:
-                    print(f"[sweep {label}] {point.label}: cached")
-                continue
-        pending.append(i)
-
-    n_workers = 1 if workers is None else max(1, int(workers))
-    if pending:
-        if n_workers == 1 or len(pending) == 1:
-            for i in pending:
-                outcomes[i] = _run_one(points[i], cache, label, verbose)
-        else:
-            with _pool(min(n_workers, len(pending))) as pool:
-                futures = {
-                    i: pool.submit(_execute, points[i].fn, points[i].kwargs)
-                    for i in pending
-                }
-                for i, future in futures.items():
-                    point = points[i]
-                    try:
-                        value, elapsed = future.result()
-                    except Exception as exc:
-                        raise SweepError(
-                            f"sweep {label!r} point {point.label!r} failed: {exc}"
-                        ) from exc
-                    outcomes[i] = _record(
-                        point, value, elapsed, cache, label, verbose
+    try:
+        for i, point in enumerate(points):
+            if cache is not None:
+                hit, value = cache.get(cache.key_for(point.fn, point.kwargs))
+                if hit:
+                    value, metrics = _unwrap(value)
+                    outcomes[i] = PointOutcome(
+                        point, value, cached=True, elapsed=0.0, metrics=metrics
                     )
+                    _emit_outcome(progress, i, outcomes[i])
+                    if verbose:
+                        print(f"[sweep {label}] {point.label}: cached")
+                    continue
+            pending.append(i)
 
-    done: List[PointOutcome] = [o for o in outcomes if o is not None]
-    assert len(done) == len(points)
-    report = SweepReport(
-        label=label,
-        outcomes=done,
-        workers=n_workers,
-        elapsed=time.perf_counter() - started,
-        cache_dir=str(cache.directory) if cache is not None else None,
-    )
+        if pending:
+            if n_workers == 1 or len(pending) == 1:
+                for i in pending:
+                    if progress is not None:
+                        progress.emit(
+                            "point-running",
+                            index=i,
+                            point=_label_str(points[i]),
+                        )
+                    outcomes[i] = _run_one(
+                        points[i], cache, label, verbose, progress, i
+                    )
+                    _emit_outcome(progress, i, outcomes[i])
+            else:
+                with _pool(min(n_workers, len(pending))) as pool:
+                    futures = {
+                        i: pool.submit(
+                            _execute, points[i].fn, points[i].kwargs
+                        )
+                        for i in pending
+                    }
+                    if progress is not None:
+                        for i in futures:
+                            progress.emit(
+                                "point-running",
+                                index=i,
+                                point=_label_str(points[i]),
+                            )
+                    for i, future in futures.items():
+                        point = points[i]
+                        try:
+                            value, elapsed = future.result()
+                        except Exception as exc:
+                            if progress is not None:
+                                progress.emit(
+                                    "point-failed",
+                                    index=i,
+                                    point=_label_str(point),
+                                    error=str(exc),
+                                )
+                            raise SweepError(
+                                f"sweep {label!r} point {point.label!r} "
+                                f"failed: {exc}"
+                            ) from exc
+                        outcomes[i] = _record(
+                            point, value, elapsed, cache, label, verbose
+                        )
+                        _emit_outcome(progress, i, outcomes[i])
+
+        done: List[PointOutcome] = [o for o in outcomes if o is not None]
+        assert len(done) == len(points)
+        report = SweepReport(
+            label=label,
+            outcomes=done,
+            workers=n_workers,
+            elapsed=time.perf_counter() - started,
+            cache_dir=str(cache.directory) if cache is not None else None,
+        )
+        if progress is not None:
+            progress.emit(
+                "sweep-end",
+                status="ok",
+                n_points=len(points),
+                cache_hits=report.cache_hits,
+                executed=report.executed,
+                retries=0,
+                elapsed=report.elapsed,
+            )
+    except BaseException as exc:
+        if progress is not None:
+            progress.emit(
+                "sweep-end",
+                status="failed",
+                error=str(exc),
+                elapsed=time.perf_counter() - started,
+            )
+        raise
+    finally:
+        if progress is not None and progress is not progress_out:
+            progress.close()
     if verbose:
         print(report.summary())
     return report
@@ -241,10 +376,19 @@ def _run_one(
     cache: Optional[ResultCache],
     label: str,
     verbose: bool,
+    progress: Optional[ProgressStream] = None,
+    index: int = -1,
 ) -> PointOutcome:
     try:
         value, elapsed = _execute(point.fn, point.kwargs)
     except Exception as exc:
+        if progress is not None:
+            progress.emit(
+                "point-failed",
+                index=index,
+                point=_label_str(point),
+                error=str(exc),
+            )
         raise SweepError(
             f"sweep {label!r} point {point.label!r} failed: {exc}"
         ) from exc

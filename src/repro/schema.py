@@ -19,7 +19,12 @@ from __future__ import annotations
 #: Version of the persisted results layout (see module docstring).
 SCHEMA_VERSION = 1
 
-__all__ = ["SCHEMA_VERSION", "SchemaMismatchError", "check_schema"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaMismatchError",
+    "check_schema",
+    "stamp_record",
+]
 
 
 class SchemaMismatchError(RuntimeError):
@@ -39,3 +44,15 @@ def check_schema(found: object, context: str) -> None:
     """Raise :class:`SchemaMismatchError` unless ``found`` matches."""
     if found != SCHEMA_VERSION:
         raise SchemaMismatchError(found, context)
+
+
+def stamp_record(record: dict) -> dict:
+    """Stamp one JSONL-bound record with the current schema version.
+
+    Every record the obs exporters and the sweep progress stream emit
+    goes through here (not just file headers): JSONL files get
+    concatenated, tailed, and split by fleet tooling, so each *line*
+    must carry enough provenance to be checked on its own.
+    """
+    record["schema_version"] = SCHEMA_VERSION
+    return record

@@ -9,7 +9,7 @@ for whole-system reporting.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterator, List, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 
 class CounterSet:
@@ -57,6 +57,45 @@ class CounterSet:
         for name, value in other._values.items():
             self._values[name] += value
 
+    def merge_snapshot(self, snapshot: Mapping[str, float]) -> None:
+        """Add a plain in-process snapshot (no provenance) into this set.
+
+        For snapshots that crossed a process or disk boundary use
+        :meth:`from_payload`/:meth:`CounterRegistry.merged` instead —
+        those carry and *check* a schema version; this method is for
+        dicts produced in the same process (e.g. ``snapshot()``).
+        """
+        for name, value in snapshot.items():
+            self._values[name] += value
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Schema-stamped persistable form (see :mod:`repro.schema`).
+
+        Counter snapshots travel between runs (sweep metrics payloads,
+        rollup inputs); the stamp lets the consumer refuse a layout
+        written by different code instead of silently unioning numbers
+        that mean different things.
+        """
+        from repro.schema import SCHEMA_VERSION
+
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "owner": self.owner,
+            "counters": self.snapshot(),
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping[str, Any], context: str = "counter payload"
+    ) -> "CounterSet":
+        """Rebuild from :meth:`to_payload`; loud on schema mismatch."""
+        from repro.schema import check_schema
+
+        check_schema(payload.get("schema_version"), context)
+        out = cls(owner=payload.get("owner", ""))
+        out.merge_snapshot(payload.get("counters", {}))
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         inner = ", ".join(f"{k}={v:g}" for k, v in self.items())
         return f"CounterSet({self.owner}: {inner})"
@@ -79,16 +118,34 @@ class CounterRegistry:
         """Per-owner values of ``name`` for sets that have it."""
         return {s.owner: s.get(name) for s in self._sets if name in s}
 
-    def merged(self) -> CounterSet:
+    def merged(
+        self, extra: Optional[Iterable[Mapping[str, Any]]] = None
+    ) -> CounterSet:
         """One merged CounterSet over all registered sets.
 
         The single aggregation entry point: everything that reports
         whole-system totals (machine results, metrics export, the
         ``compare`` CLI) goes through here.
+
+        ``extra`` merges persisted counter payloads (the
+        :meth:`CounterSet.to_payload` form, as found in sweep metrics
+        and rollup inputs) into the total as well.  Each payload's
+        ``schema_version`` is checked first: a payload written under a
+        different results schema raises
+        :class:`~repro.schema.SchemaMismatchError` instead of being
+        silently unioned into the totals — cross-run aggregation must
+        never mix counter layouts.
         """
         merged = CounterSet(owner="total")
         for s in self._sets:
             merged.merge(s)
+        if extra is not None:
+            for i, payload in enumerate(extra):
+                merged.merge(
+                    CounterSet.from_payload(
+                        payload, context=f"merged() extra payload #{i}"
+                    )
+                )
         return merged
 
     def aggregate(self) -> CounterSet:

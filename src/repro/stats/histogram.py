@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 
 class Histogram:
@@ -68,8 +68,49 @@ class Histogram:
         return dict(self._counts)
 
     def merge(self, other: "Histogram") -> None:
+        """Exact bucket-wise merge: add every (value, count) of ``other``.
+
+        Merging histograms and *then* taking percentiles is the only
+        correct way to aggregate distributions across runs — averaging
+        per-run percentiles is not a percentile of anything.  The
+        cross-run rollup layer (:mod:`repro.obs.rollup`) therefore
+        always merges buckets via this method (or :meth:`merged`) and
+        derives its summary statistics from the merged result.
+        """
         for value, count in other._counts.items():
             self.add(value, count)
+
+    @classmethod
+    def merged(
+        cls, histograms: Iterable["Histogram"], name: str = ""
+    ) -> "Histogram":
+        """A new histogram holding the exact union of many histograms."""
+        out = cls(name=name)
+        for hist in histograms:
+            out.merge(hist)
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe bucket dump: ``{"name", "counts": [[value, n], ...]}``.
+
+        The buckets (not just the summary) are what makes a persisted
+        histogram *mergeable*: :meth:`from_dict` reconstructs the exact
+        distribution, so merged percentiles stay exact after a JSON or
+        pickle round-trip.  Bucket values are emitted as pairs, not a
+        dict, because JSON object keys must be strings.
+        """
+        return {
+            "name": self.name,
+            "counts": [[value, count] for value, count in self.items()],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "Histogram":
+        """Inverse of :meth:`to_dict`."""
+        hist = cls(name=raw.get("name", ""))
+        for value, count in raw.get("counts", ()):
+            hist.add(int(value), int(count))
+        return hist
 
     def summary(self) -> Dict[str, Union[int, float, None]]:
         """Headline statistics as a dict (the latency reports' unit).

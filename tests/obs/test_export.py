@@ -75,6 +75,39 @@ def test_writers_round_trip(tmp_path):
     assert json.loads(lines[0])["record"] == "run"
 
 
+def test_every_metrics_record_is_schema_stamped():
+    machine, obs = golden_run()
+    from repro.schema import SCHEMA_VERSION
+
+    records = machine_metrics_records(machine, obs)
+    assert all(r["schema_version"] == SCHEMA_VERSION for r in records), (
+        "per-record stamping: fleet tooling splits/concatenates JSONL "
+        "files, so every line must carry its own schema version"
+    )
+
+
+def test_read_metrics_jsonl_round_trip_and_rejection(tmp_path):
+    import pytest
+
+    from repro.obs import read_metrics_jsonl
+    from repro.schema import SchemaMismatchError
+
+    machine, obs = golden_run()
+    records = machine_metrics_records(machine, obs)
+    path = tmp_path / "m.jsonl"
+    write_jsonl(path, records)
+    assert _normalize(read_metrics_jsonl(path)) == _normalize(records)
+
+    # Splice in one foreign line: the reader must refuse the file even
+    # though the run header is fine.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps({"record": "latency", "schema_version": 999}) + "\n"
+        )
+    with pytest.raises(SchemaMismatchError):
+        read_metrics_jsonl(path)
+
+
 def test_trace_structure_invariants():
     """Schema checks that hold for any run, golden or not."""
     _, obs = golden_run()

@@ -1,0 +1,236 @@
+"""Progress stream: schema stamps, ownership, reader, sweep lifecycle."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.progress import (
+    PROGRESS_EVENTS,
+    ProgressStream,
+    as_progress_stream,
+    read_progress,
+)
+from repro.runner import SweepPoint, run_sweep
+from repro.schema import SCHEMA_VERSION, SchemaMismatchError
+
+
+def _mul(x):
+    return x * 3
+
+
+# ----------------------------------------------------------------------
+# ProgressStream
+# ----------------------------------------------------------------------
+def test_every_record_is_schema_stamped_and_sequenced(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    with ProgressStream(str(path), label="demo") as stream:
+        stream.emit("sweep-begin", n_points=2)
+        stream.emit("point-queued", index=0)
+        stream.emit("sweep-end", status="ok")
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["seq"] for r in records] == [0, 1, 2]
+    assert all(r["schema_version"] == SCHEMA_VERSION for r in records)
+    assert all(r["record"] == "progress" for r in records)
+    assert all(r["sweep"] == "demo" for r in records)
+
+
+def test_unknown_event_is_rejected(tmp_path):
+    stream = ProgressStream(str(tmp_path / "p.jsonl"))
+    with pytest.raises(ValueError, match="unknown progress event"):
+        stream.emit("point-teleported")
+    stream.close()
+
+
+def test_lines_are_flushed_as_written(tmp_path):
+    # A reader tailing the file mid-run must see every emitted event
+    # without waiting for close() — the stream flushes per line.
+    path = tmp_path / "p.jsonl"
+    stream = ProgressStream(str(path), label="live")
+    stream.emit("sweep-begin", n_points=1)
+    stream.emit("point-running", index=0)
+    records = read_progress(path)
+    assert [r["event"] for r in records] == ["sweep-begin", "point-running"]
+    stream.close()
+
+
+def test_file_like_destination_is_not_closed():
+    buf = io.StringIO()
+    stream = ProgressStream(buf, label="x")
+    stream.emit("sweep-begin")
+    stream.close()
+    assert not buf.closed  # caller owns file-likes
+    assert json.loads(buf.getvalue())["event"] == "sweep-begin"
+
+
+def test_as_progress_stream_coercion(tmp_path):
+    assert as_progress_stream(None, "x") is None
+    stream = ProgressStream(io.StringIO(), label="x")
+    assert as_progress_stream(stream, "y") is stream
+    wrapped = as_progress_stream(str(tmp_path / "p.jsonl"), "z")
+    assert isinstance(wrapped, ProgressStream)
+    wrapped.close()
+
+
+# ----------------------------------------------------------------------
+# read_progress
+# ----------------------------------------------------------------------
+def test_reader_tolerates_exactly_one_truncated_trailing_line(tmp_path):
+    path = tmp_path / "p.jsonl"
+    with ProgressStream(str(path)) as stream:
+        stream.emit("sweep-begin")
+        stream.emit("point-queued", index=0)
+    # Simulate a supervisor killed mid-write: a half-flushed last line.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"record": "progress", "event": "point-d')
+    records = read_progress(path)
+    assert [r["event"] for r in records] == ["sweep-begin", "point-queued"]
+
+
+def test_reader_raises_on_corruption_before_the_last_line(tmp_path):
+    path = tmp_path / "p.jsonl"
+    lines = [
+        json.dumps(
+            {
+                "record": "progress",
+                "event": "sweep-begin",
+                "schema_version": SCHEMA_VERSION,
+            }
+        ),
+        "{not json",
+        json.dumps(
+            {
+                "record": "progress",
+                "event": "sweep-end",
+                "schema_version": SCHEMA_VERSION,
+            }
+        ),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="corrupt progress record"):
+        read_progress(path)
+
+
+def test_reader_rejects_schema_mismatch_per_record(tmp_path):
+    path = tmp_path / "p.jsonl"
+    path.write_text(
+        json.dumps(
+            {
+                "record": "progress",
+                "event": "sweep-begin",
+                "schema_version": SCHEMA_VERSION + 1,
+            }
+        )
+        + "\n"
+    )
+    with pytest.raises(SchemaMismatchError):
+        read_progress(path)
+    # Non-strict mode still parses — for forward-compat tooling.
+    assert len(read_progress(path, strict=False)) == 1
+
+
+# ----------------------------------------------------------------------
+# run_sweep lifecycle
+# ----------------------------------------------------------------------
+def test_sweep_emits_manifest_and_full_point_lifecycle(tmp_path):
+    path = tmp_path / "progress.jsonl"
+    points = [SweepPoint(_mul, {"x": i}) for i in range(3)]
+    run_sweep(points, use_cache=False, progress_out=str(path), label="grid")
+    records = read_progress(path)
+    events = [r["event"] for r in records]
+    begin = records[0]
+    assert begin["event"] == "sweep-begin"
+    assert begin["n_points"] == 3 and begin["elastic"] is False
+    assert events.count("point-queued") == 3
+    assert events.count("point-running") == 3
+    assert events.count("point-done") == 3
+    end = records[-1]
+    assert end["event"] == "sweep-end" and end["status"] == "ok"
+    assert end["executed"] == 3 and end["retries"] == 0
+
+
+def test_sweep_failure_emits_point_failed_and_failed_end(tmp_path):
+    path = tmp_path / "progress.jsonl"
+
+    points = [SweepPoint(_boom, {"x": 1})]
+    with pytest.raises(Exception):
+        run_sweep(points, use_cache=False, progress_out=str(path))
+    events = [r["event"] for r in read_progress(path)]
+    assert "point-failed" in events
+    assert events[-1] == "sweep-end"
+    assert read_progress(path)[-1]["status"] == "failed"
+
+
+def _boom(x):
+    raise RuntimeError("kaput")
+
+
+def test_cache_hits_replay_cached_metrics_into_the_stream(tmp_path):
+    # Satellite fix: a fully warm sweep must still stream telemetry —
+    # the cached WithMetrics payloads are replayed as point-metrics.
+    from repro.api import Experiment
+
+    experiment = Experiment(
+        protocol="twobit", n_processors=2, refs_per_proc=120, warmup_refs=30
+    )
+    axes = {"q": [0.02, 0.1]}
+    cache = str(tmp_path / "cache")
+    run_sweep(
+        experiment.sweep_points(axes, instrument=True), cache_dir=cache
+    )
+
+    path = tmp_path / "warm.jsonl"
+    report = run_sweep(
+        experiment.sweep_points(axes, instrument=True),
+        cache_dir=cache,
+        progress_out=str(path),
+    )
+    assert report.cache_hits == 2
+    records = read_progress(path)
+    done = [r for r in records if r["event"] == "point-done"]
+    metrics = [r for r in records if r["event"] == "point-metrics"]
+    assert len(done) == 2 and all(r["cached"] for r in done)
+    assert len(metrics) == 2 and all(r["cached"] for r in metrics)
+    for record in metrics:
+        payload = record["metrics"]
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["latency_hist"]  # exact buckets, not just summaries
+
+
+def test_instrumented_sweep_results_match_bare_results(tmp_path):
+    # Instrumentation is observation-only: the cached results dict of an
+    # instrumented point is bit-identical to the bare point's.
+    from repro.api import Experiment
+
+    experiment = Experiment(
+        protocol="twobit", n_processors=2, refs_per_proc=120, warmup_refs=30
+    )
+    axes = {"q": [0.05]}
+    bare = run_sweep(
+        experiment.sweep_points(axes), use_cache=False
+    )
+    instrumented = run_sweep(
+        experiment.sweep_points(axes, instrument=True), use_cache=False
+    )
+    assert instrumented.results == bare.results
+    assert instrumented.outcomes[0].metrics is not None
+
+
+def test_event_vocabulary_is_closed():
+    # docs/observability.md documents exactly this list; additions must
+    # update both.
+    assert PROGRESS_EVENTS == (
+        "sweep-begin",
+        "point-queued",
+        "point-running",
+        "point-retried",
+        "point-checkpointed",
+        "point-done",
+        "point-failed",
+        "point-metrics",
+        "worker-spawned",
+        "worker-died",
+        "worker-stalled",
+        "worker-heartbeat",
+        "sweep-end",
+    )

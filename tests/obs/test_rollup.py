@@ -1,0 +1,201 @@
+"""Cross-run rollups: merged buckets, checked counters, weighted rates."""
+
+import pytest
+
+from repro.obs.rollup import GroupRollup, rollup_outcomes, rollup_results
+from repro.schema import SCHEMA_VERSION, SchemaMismatchError
+from repro.stats.counters import CounterRegistry, CounterSet
+from repro.stats.histogram import Histogram
+
+
+def _result(protocol="twobit", refs=100, **overrides):
+    base = {
+        "schema_version": SCHEMA_VERSION,
+        "protocol": protocol,
+        "n_processors": 4,
+        "total_refs": refs,
+        "cycles": refs * 5,
+        "extra_commands_per_ref": 0.02,
+        "commands_per_ref": 0.05,
+        "stolen_cycles_per_ref": 0.01,
+        "processor_wait_per_ref": 0.5,
+        "avg_latency": 6.0,
+        "miss_ratio": 0.15,
+        "traffic_per_ref": 1.1,
+        "broadcasts": 7,
+        "invalidations_applied": 3,
+        "writebacks": 2,
+        "totals": {"naks_sent": 4.0, "retries_sent": 2.0},
+    }
+    base.update(overrides)
+    return base
+
+
+def _metrics(buckets):
+    hist = Histogram(name="RM")
+    for value, count in buckets:
+        hist.add(value, count)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "latency_hist": {"RM": hist.to_dict()},
+        "phase_hist": {},
+    }
+
+
+# ----------------------------------------------------------------------
+# Histogram merging (satellite 1)
+# ----------------------------------------------------------------------
+def test_histogram_merge_is_exact_and_percentiles_come_from_buckets():
+    a = Histogram()
+    b = Histogram()
+    for v in (1, 1, 1, 1):
+        a.add(v)
+    for v in (100, 100, 100, 100):
+        b.add(v)
+    merged = Histogram.merged([a, b])
+    # Per-run p50s are 1 and 100; their average (50.5) is not a sample.
+    # The merged p50 is an actual recorded value.
+    assert merged.percentile(0.5) == 1
+    assert merged.percentile(0.95) == 100
+    assert len(merged) == 8
+    assert merged.snapshot() == {1: 4, 100: 4}
+
+
+def test_histogram_dict_round_trip_preserves_buckets():
+    hist = Histogram(name="lat")
+    hist.add(3, 2)
+    hist.add(9, 5)
+    clone = Histogram.from_dict(hist.to_dict())
+    assert clone.snapshot() == hist.snapshot()
+    assert clone.name == "lat"
+    assert clone.summary() == hist.summary()
+
+
+# ----------------------------------------------------------------------
+# Counter payload checking (satellite 1)
+# ----------------------------------------------------------------------
+def test_registry_merged_accepts_matching_extra_payloads():
+    registry = CounterRegistry()
+    local = CounterSet(owner="cache0")
+    local.add("refs", 10)
+    registry.register(local)
+    total = registry.merged(
+        extra=[
+            {
+                "schema_version": SCHEMA_VERSION,
+                "owner": "run1",
+                "counters": {"refs": 5.0, "naks_sent": 2.0},
+            }
+        ]
+    )
+    assert total.get("refs") == 15
+    assert total.get("naks_sent") == 2
+
+
+def test_registry_merged_rejects_mismatched_schema_payloads():
+    registry = CounterRegistry()
+    with pytest.raises(SchemaMismatchError):
+        registry.merged(
+            extra=[{"schema_version": 999, "counters": {"refs": 5.0}}]
+        )
+    # Missing stamp is just as wrong as a bad one — never a silent union.
+    with pytest.raises(SchemaMismatchError):
+        registry.merged(extra=[{"counters": {"refs": 5.0}}])
+
+
+def test_counter_payload_round_trip():
+    counters = CounterSet(owner="net")
+    counters.add("traffic_units", 12)
+    payload = counters.to_payload()
+    assert payload["schema_version"] == SCHEMA_VERSION
+    clone = CounterSet.from_payload(payload)
+    assert clone.snapshot() == counters.snapshot()
+    assert clone.owner == "net"
+
+
+# ----------------------------------------------------------------------
+# GroupRollup
+# ----------------------------------------------------------------------
+def test_rollup_groups_and_weights_by_refs():
+    runs = [
+        (_result(refs=100, avg_latency=4.0), None, "q=0.02"),
+        (_result(refs=300, avg_latency=8.0), None, "q=0.1"),
+        (_result(protocol="fullmap", refs=100), None, "q=0.02"),
+    ]
+    groups = rollup_results(runs, group_by="protocol")
+    assert sorted(groups) == ["fullmap", "twobit"]
+    twobit = groups["twobit"]
+    assert twobit.n_runs == 2
+    assert twobit.total_refs == 400
+    # Ref-weighted: (4*100 + 8*300) / 400 = 7, not the naive mean 6.
+    assert twobit.rate("avg_latency") == pytest.approx(7.0)
+    # Counters summed across runs, normalized per ref.
+    assert twobit.counters.get("naks_sent") == 8
+    assert twobit.comparatives()["naks_per_ref"] == pytest.approx(8 / 400)
+    assert twobit.comparatives()["retries_per_ref"] == pytest.approx(4 / 400)
+
+
+def test_rollup_rejects_results_with_wrong_schema():
+    bad = _result()
+    bad["schema_version"] = 999
+    with pytest.raises(SchemaMismatchError):
+        rollup_results([(bad, None, "p")])
+
+
+def test_rollup_rejects_metrics_with_wrong_schema():
+    metrics = _metrics([(5, 1)])
+    metrics["schema_version"] = 999
+    with pytest.raises(SchemaMismatchError):
+        rollup_results([(_result(), metrics, "p")])
+
+
+def test_rollup_merges_latency_buckets_across_runs():
+    runs = [
+        (_result(refs=100), _metrics([(1, 4)]), "a"),
+        (_result(refs=100), _metrics([(100, 4)]), "b"),
+    ]
+    group = rollup_results(runs)["twobit"]
+    summary = group.latency_percentiles()["RM"]
+    assert summary["count"] == 8
+    assert summary["p50"] == 1  # merged-bucket percentile, not mean of p50s
+    assert summary["max"] == 100
+    assert group.runs_without_metrics == 0
+
+
+def test_rollup_counts_bare_runs_without_metrics():
+    group = rollup_results([(_result(), None, "a")])["twobit"]
+    assert group.runs_without_metrics == 1
+    assert group.latency == {}
+    # Counters still rolled up from the results dict's totals.
+    assert group.counters.get("naks_sent") == 4
+
+
+def test_rollup_to_dict_is_schema_stamped():
+    group = rollup_results([(_result(), _metrics([(5, 2)]), "a")])["twobit"]
+    doc = group.to_dict()
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["group"] == "twobit"
+    assert doc["comparatives"]["broadcast_overhead"] == pytest.approx(0.02)
+
+
+def test_rollup_outcomes_from_a_real_instrumented_sweep(tmp_path):
+    from repro.api import Experiment
+    from repro.runner import run_sweep
+
+    experiment = Experiment(
+        protocol="twobit", n_processors=2, refs_per_proc=120, warmup_refs=30
+    )
+    report = run_sweep(
+        experiment.sweep_points(
+            {"protocol": ["twobit", "fullmap"]}, instrument=True
+        ),
+        cache_dir=str(tmp_path / "cache"),
+    )
+    groups = rollup_outcomes(report.outcomes, group_by="protocol")
+    assert sorted(groups) == ["fullmap", "twobit"]
+    for rollup in groups.values():
+        assert rollup.total_refs == 240  # 2 procs * 120 refs
+        assert rollup.latency  # buckets arrived via cached WithMetrics
+        assert rollup.comparatives()["commands_per_ref"] is not None
+    # Full-map never broadcasts uselessly; two-bit does (q defaults on).
+    assert groups["fullmap"].rate("extra_commands_per_ref") == 0.0
