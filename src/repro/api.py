@@ -278,6 +278,7 @@ class Experiment:
         axes: Mapping[str, Sequence[Any]],
         workers: Optional[int] = None,
         elastic: bool = False,
+        service: Optional[str] = None,
         checkpoint_every: int = 0,
         checkpoint_dir: Optional[str] = None,
         cache_dir: Optional[Any] = None,
@@ -302,6 +303,19 @@ class Experiment:
         resumes from its last checkpoint instead of recomputing.
         Elastic and plain sweeps share the same result cache entries.
 
+        ``service="http://host:port"`` submits the grid to a running
+        sweep-service coordinator (``repro serve``) and its registered
+        ``repro work`` fleet instead of local processes
+        (:func:`~repro.runner.service.run_sweep_service`).  The retry/
+        stall budgets keep their elastic semantics, enforced by the
+        coordinator's reaper; the result cache and checkpoint
+        directories live coordinator-side, and cache entries are keyed
+        exactly as local runs key them, so a distributed sweep warms
+        the same cache a later local sweep hits.  ``service`` and
+        ``elastic`` are mutually exclusive, and ``progress_out`` must
+        be a path or file-like (the coordinator's merged stream is
+        downloaded verbatim).  See ``docs/service.md``.
+
         ``instrument=True`` runs every point with the observability hub
         attached and caches each point's telemetry alongside its result
         (see :attr:`SweepReport.metrics_by_key` and
@@ -316,6 +330,26 @@ class Experiment:
 
         points = self.sweep_points(axes, instrument=instrument)
         name = label if label is not None else f"{self.protocol}-grid"
+        if service is not None:
+            if elastic:
+                raise ValueError(
+                    "sweep(service=...) and sweep(elastic=True) are "
+                    "mutually exclusive: the coordinator's fleet already "
+                    "is the elastic pool"
+                )
+            from repro.runner.service import run_sweep_service
+
+            return run_sweep_service(
+                points,
+                service,
+                label=name,
+                use_cache=use_cache,
+                checkpoint_every=checkpoint_every,
+                max_retries=max_retries,
+                stall_timeout=stall_timeout,
+                progress_out=progress_out,
+                verbose=verbose,
+            )
         if elastic:
             return run_sweep_elastic(
                 points,

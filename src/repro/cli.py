@@ -333,8 +333,47 @@ def _parse_axes(axis_items, base: dict, command: str = "sweep") -> dict:
     return axes
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a sweep-service coordinator in the foreground."""
+    from repro.runner.service import ServiceConfig, serve
+
+    serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            progress_dir=args.progress_dir,
+            heartbeat_timeout=args.heartbeat_timeout,
+            heartbeat_every=args.heartbeat_every,
+        )
+    )
+    return 0
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    """Run a sweep-service worker agent against a coordinator."""
+    from repro.runner.service import ServiceError, run_worker
+
+    try:
+        executed = run_worker(
+            args.coordinator,
+            poll_interval=args.poll,
+            heartbeat_every=args.heartbeat_every,
+            max_idle=args.max_idle,
+            verbose=args.verbose,
+        )
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    except KeyboardInterrupt:
+        return 0
+    print(f"worker exiting after {executed} shard(s)")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import SweepError
+    from repro.runner.service import ServiceError
 
     experiment = _experiment_from_args(args)
     axes = _parse_axes(args.axis, experiment.to_kwargs())
@@ -343,6 +382,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             axes,
             workers=args.workers,
             elastic=args.elastic,
+            service=args.service,
             checkpoint_every=args.checkpoint_every,
             checkpoint_dir=args.checkpoint_dir,
             cache_dir=args.cache_dir,
@@ -354,7 +394,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             instrument=args.metrics,
             progress_out=args.progress_out,
         )
-    except SweepError as exc:
+    except (SweepError, ServiceError) as exc:
         raise SystemExit(str(exc))
     table = Table(
         header=["point", "cmds/ref", "extra/ref", "miss", "latency"],
@@ -754,6 +794,12 @@ def make_parser() -> argparse.ArgumentParser:
                          "stalled workers are replaced and their shards "
                          "retried (resuming from shard checkpoints when "
                          "--checkpoint-every is set)")
+    p_sweep.add_argument("--service", default=None, metavar="URL",
+                         help="submit the grid to a running sweep-service "
+                         "coordinator (`repro serve`) and its `repro "
+                         "work` fleet instead of local processes; "
+                         "mutually exclusive with --elastic "
+                         "(docs/service.md)")
     p_sweep.add_argument("--checkpoint-every", type=int, default=0,
                          metavar="CYCLES",
                          help="per-shard checkpoint cadence for elastic "
@@ -786,6 +832,59 @@ def make_parser() -> argparse.ArgumentParser:
                          "terminal events (schema: docs/observability.md)")
     p_sweep.add_argument("-v", "--verbose", action="store_true")
     p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a sweep-service coordinator (see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback; the wire "
+                         "protocol is for trusted hosts only)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port (0 = pick a free port; the chosen "
+                         "URL is printed as 'repro-service listening on "
+                         "...')")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared result cache directory (default: "
+                         ".sweep_cache or $REPRO_SWEEP_CACHE); local "
+                         "sweeps pointed at the same directory share "
+                         "entries")
+    p_serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="shard checkpoint directory; must be "
+                         "worker-reachable for mid-shard resume "
+                         "(default: a temporary directory)")
+    p_serve.add_argument("--progress-dir", default=None, metavar="DIR",
+                         help="where per-sweep merged progress JSONL "
+                         "streams are written (default: a temporary "
+                         "directory)")
+    p_serve.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="a worker silent this long is presumed dead "
+                         "and its shard retried")
+    p_serve.add_argument("--heartbeat-every", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="heartbeat cadence advertised to workers")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_work = sub.add_parser(
+        "work",
+        help="run a sweep-service worker agent",
+    )
+    p_work.add_argument("--coordinator", required=True, metavar="URL",
+                        help="coordinator URL printed by `repro serve`")
+    p_work.add_argument("--poll", type=float, default=0.2,
+                        metavar="SECONDS",
+                        help="lease poll interval while idle")
+    p_work.add_argument("--heartbeat-every", type=float, default=None,
+                        metavar="SECONDS",
+                        help="override the coordinator-advertised "
+                        "heartbeat cadence")
+    p_work.add_argument("--max-idle", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long without work "
+                        "(default: serve forever)")
+    p_work.add_argument("-v", "--verbose", action="store_true")
+    p_work.set_defaults(fn=cmd_work)
 
     p_report = sub.add_parser(
         "report",

@@ -39,6 +39,7 @@ from repro.obs.progress import (
     PROGRESS_EVENTS,
     ProgressStream,
     read_progress,
+    verify_point_trails,
 )
 from repro.obs.report import build_report, render_markdown
 from repro.obs.rollup import GroupRollup, rollup_outcomes, rollup_results
@@ -66,6 +67,7 @@ __all__ = [
     "render_markdown",
     "rollup_outcomes",
     "rollup_results",
+    "verify_point_trails",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -37,7 +37,19 @@ from typing import Any, Dict, IO, List, Optional, Union
 
 from repro.schema import check_schema, stamp_record
 
-__all__ = ["PROGRESS_EVENTS", "ProgressStream", "read_progress"]
+__all__ = [
+    "PROGRESS_EVENTS",
+    "ProgressStream",
+    "read_progress",
+    "verify_point_trails",
+]
+
+#: Events that close a point's lifecycle trail.  Every point that ever
+#: went ``point-running`` must be closed by exactly one of these before
+#: the stream's ``sweep-end`` — on failed sweeps too.  Both local
+#: schedulers and the sweep-service coordinator uphold this; consumers
+#: can assert it with :func:`verify_point_trails`.
+TERMINAL_EVENTS = ("point-done", "point-failed")
 
 #: The complete event vocabulary, for validation and documentation.
 PROGRESS_EVENTS = (
@@ -187,3 +199,60 @@ def read_progress(
                 )
         records.append(record)
     return records
+
+
+def verify_point_trails(
+    records: List[Dict[str, Any]]
+) -> Dict[int, str]:
+    """Check the one-terminal-event-per-point invariant on a stream.
+
+    For a completed sweep stream (the last record is ``sweep-end``,
+    whatever its status), every point index that ever emitted
+    ``point-running`` must be closed by **exactly one** terminal event
+    (``point-done`` or ``point-failed``) before that ``sweep-end`` —
+    this is the guarantee stated in ``docs/observability.md`` and the
+    contract the sweep-service coordinator relies on.  Cache hits may
+    go straight to ``point-done`` without a ``point-running``; they too
+    must terminate exactly once.
+
+    Returns ``{index: "done" | "failed"}`` for every terminated point.
+    Raises ``ValueError`` describing the first violation found:
+    a missing ``sweep-end``, an event after ``sweep-end``, a dispatched
+    point with no terminal event, or a point with more than one.
+    """
+    if not records:
+        raise ValueError("empty progress stream")
+    if records[-1].get("event") != "sweep-end":
+        raise ValueError(
+            f"stream does not end with sweep-end "
+            f"(last event: {records[-1].get('event')!r})"
+        )
+    ends = [r for r in records if r.get("event") == "sweep-end"]
+    if len(ends) != 1:
+        raise ValueError(f"expected exactly one sweep-end, found {len(ends)}")
+    running: Dict[int, int] = {}
+    terminals: Dict[int, List[str]] = {}
+    for record in records:
+        event = record.get("event")
+        if event == "point-running":
+            index = record["index"]
+            running[index] = running.get(index, 0) + 1
+        elif event in TERMINAL_EVENTS:
+            index = record["index"]
+            terminals.setdefault(index, []).append(event)
+    for index in sorted(running):
+        if index not in terminals:
+            raise ValueError(
+                f"point {index} ran ({running[index]} attempt(s)) but has "
+                f"no terminal event before sweep-end"
+            )
+    for index in sorted(terminals):
+        if len(terminals[index]) != 1:
+            raise ValueError(
+                f"point {index} has {len(terminals[index])} terminal "
+                f"events ({terminals[index]}); expected exactly one"
+            )
+    return {
+        index: ("done" if events[0] == "point-done" else "failed")
+        for index, events in terminals.items()
+    }

@@ -16,6 +16,7 @@ from repro.runner.cache import (
 from repro.runner.elastic import run_sweep_elastic
 from repro.runner.seeds import derive_seed
 from repro.runner.sweep import (
+    DuplicatePointLabelError,
     PointOutcome,
     SweepError,
     SweepPoint,
@@ -24,8 +25,20 @@ from repro.runner.sweep import (
     run_sweep,
 )
 
+
+def __getattr__(name):
+    # Lazy: the distributed sweep service pulls in the HTTP stack, which
+    # local sweeps should never pay for at import time.
+    if name == "run_sweep_service":
+        from repro.runner.service import run_sweep_service
+
+        return run_sweep_service
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CACHE_DIR_ENV",
+    "DuplicatePointLabelError",
     "PointOutcome",
     "ResultCache",
     "SweepError",
@@ -37,4 +50,5 @@ __all__ = [
     "derive_seed",
     "run_sweep",
     "run_sweep_elastic",
+    "run_sweep_service",
 ]

@@ -284,11 +284,18 @@ def run_sweep_elastic(
         pending.append(i)
 
     total_retries = 0
+    #: Indices with a point-running emitted but no terminal event yet.
+    #: The one-terminal-event-per-point invariant
+    #: (docs/observability.md) must hold on abort paths too: when the
+    #: sweep fails, every still-open trail is closed with an explicit
+    #: point-failed before the terminal sweep-end.
+    open_points: set = set()
 
     def _fail_point(idx: int, error: str, worker: Optional[int]) -> None:
         """Terminal ``point-failed`` — emitted supervisor-side so it is
         written even when the failure is a worker that can no longer
         report anything itself."""
+        open_points.discard(idx)
         if progress is None:
             return
         failed: Dict[str, Any] = {
@@ -299,6 +306,24 @@ def run_sweep_elastic(
         if worker is not None:
             failed["worker"] = worker
         progress.emit("point-failed", **failed)
+
+    def _abort_open(reason: str) -> None:
+        """Close every still-open point trail before the sweep aborts.
+
+        An in-flight point on another worker, or a retried point waiting
+        in the backlog, has an unclosed point-running trail; a
+        distributed supervisor consuming this stream must be able to
+        trust that sweep-end is preceded by a terminal event for every
+        dispatched point."""
+        for idx in sorted(open_points):
+            if progress is not None:
+                progress.emit(
+                    "point-failed",
+                    index=idx,
+                    point=_label_str(points[idx]),
+                    error=reason,
+                )
+        open_points.clear()
 
     try:
         if pending:
@@ -342,6 +367,7 @@ def run_sweep_elastic(
                         pool.dispatch(pid, idx, *tasks[idx])
                         owner[pid] = idx
                         started_at[pid] = time.monotonic()
+                        open_points.add(idx)
                         if progress is not None:
                             progress.emit(
                                 "point-running",
@@ -361,6 +387,10 @@ def run_sweep_elastic(
                             continue  # dead worker; reap_dead handles it
                         if kind == "error":
                             _fail_point(idx, payload, pid)
+                            _abort_open(
+                                f"aborted: sweep {label!r} failed at "
+                                f"point {points[idx].label!r}"
+                            )
                             raise SweepError(
                                 f"sweep {label!r} point "
                                 f"{points[idx].label!r} failed:\n{payload}"
@@ -381,6 +411,7 @@ def run_sweep_elastic(
                             _emit_outcome(
                                 progress, idx, outcomes[idx], worker=pid
                             )
+                            open_points.discard(idx)
                             remaining -= 1
                             path = shard_paths.get(idx)
                             if path is not None and os.path.exists(path):
@@ -405,6 +436,10 @@ def run_sweep_elastic(
                                 f"worker died {retries[idx]} times "
                                 f"(max_retries={max_retries})",
                                 pid,
+                            )
+                            _abort_open(
+                                f"aborted: sweep {label!r} failed at "
+                                f"point {points[idx].label!r}"
                             )
                             raise SweepError(
                                 f"sweep {label!r} point "
@@ -504,6 +539,10 @@ def run_sweep_elastic(
                 elapsed=report.elapsed,
             )
     except BaseException as exc:
+        # Safety net for abort paths that did not close their own
+        # trails (e.g. KeyboardInterrupt): open_points is empty when a
+        # site already called _abort_open, so nothing double-fires.
+        _abort_open(f"aborted: sweep {label!r} failed")
         if progress is not None:
             progress.emit(
                 "sweep-end",

@@ -1,0 +1,49 @@
+"""Distributed sweep service: coordinator, worker agent, client.
+
+This package grows :mod:`repro.runner.elastic` from one host's worker
+pool into a multi-host job service (ROADMAP item 1):
+
+* :class:`~repro.runner.service.coordinator.Coordinator` — an asyncio
+  HTTP coordinator (``repro serve``) that shards submitted sweep grids
+  to remote workers, reaps dead/stalled workers on the elastic
+  scheduler's retry/stall budgets, persists results into the same
+  content-addressed :class:`~repro.runner.cache.ResultCache` local
+  sweeps use (so local and distributed runs share entries), and merges
+  every worker's progress events into one coordinator-side JSONL
+  stream per sweep;
+* :func:`~repro.runner.service.worker.run_worker` — the worker agent
+  (``repro work``) that leases shards, executes them through the
+  existing point machinery, heartbeats from a background thread, and
+  posts results (plus relayed progress events) back;
+* :func:`~repro.runner.service.client.run_sweep_service` — the client
+  verb behind ``Experiment.sweep(service=...)``: submit a grid, wait,
+  and get back a :class:`~repro.runner.sweep.SweepReport`
+  indistinguishable from a local run's.
+
+The wire protocol, trust model, and failure semantics are documented
+in ``docs/service.md``.
+"""
+
+from repro.runner.service.client import (
+    fetch_progress,
+    fetch_report,
+    run_sweep_service,
+    submit_sweep,
+    sweep_status,
+)
+from repro.runner.service.coordinator import Coordinator, ServiceConfig, serve
+from repro.runner.service.wire import ServiceError
+from repro.runner.service.worker import run_worker
+
+__all__ = [
+    "Coordinator",
+    "ServiceConfig",
+    "ServiceError",
+    "fetch_progress",
+    "fetch_report",
+    "run_sweep_service",
+    "run_worker",
+    "serve",
+    "submit_sweep",
+    "sweep_status",
+]

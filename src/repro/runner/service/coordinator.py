@@ -1,0 +1,823 @@
+"""The sweep-service coordinator: shard queueing, leases, reaping.
+
+One coordinator process owns the authoritative state of every
+submitted sweep: the shard backlog, which worker holds which lease,
+per-shard retry counts, the shared :class:`~repro.runner.cache
+.ResultCache`, and one merged :class:`~repro.obs.progress
+.ProgressStream` per sweep.  Workers never talk to each other and
+never write shared state — they lease a shard, execute it, and post
+the result (or die trying), exactly like the elastic pool's workers
+but across a socket instead of a pipe.
+
+Failure semantics are the elastic scheduler's, verbatim:
+
+* a worker whose heartbeat goes quiet for ``heartbeat_timeout``
+  seconds is presumed dead (``worker-died``); its shard is requeued
+  and its per-shard retry count incremented, failing the sweep past
+  ``max_retries`` — the socket-world analogue of a SIGKILLed pool
+  worker;
+* a lease held longer than the sweep's ``stall_timeout`` is presumed
+  hung (``worker-stalled``): the worker is deregistered and the shard
+  requeued on the same retry budget.  If the "hung" worker later
+  delivers anyway, the first result for a shard wins and later
+  duplicates are dropped as stale;
+* shards whose point functions accept checkpoint kwargs resume from
+  their last :mod:`repro.checkpoint` snapshot on retry, provided
+  coordinator and workers share the checkpoint directory (loopback or
+  a shared filesystem — see ``docs/service.md``).
+
+Every progress event — including those relayed by workers — is
+re-emitted through the coordinator's own stream, so ``seq`` and ``t``
+are coordinator-stamped and the merged file is totally ordered:
+:func:`repro.obs.read_progress`, :func:`repro.obs.rollup_results`,
+and ``repro report`` consume it with no changes.  The coordinator
+upholds the one-terminal-event-per-point invariant
+(:func:`repro.obs.verify_point_trails`) on abort paths too.
+
+All handler code runs on the event loop thread; nothing here locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.progress import ProgressStream
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.elastic import _accepts_checkpoint
+from repro.runner.sweep import (
+    PointOutcome,
+    SweepPoint,
+    _emit_outcome,
+    _label_str,
+    _unwrap,
+)
+from repro.runner.service.wire import (
+    decode_payload,
+    encode_payload,
+    start_http_server,
+)
+from repro.schema import SCHEMA_VERSION
+
+__all__ = ["Coordinator", "ServiceConfig", "serve"]
+
+#: Supervisor wake-up cadence (mirrors elastic's ``_HEARTBEAT``).
+_REAP_INTERVAL = 0.05
+
+#: Seconds between ``worker-heartbeat`` progress records per sweep
+#: (mirrors elastic's ``_PROGRESS_HEARTBEAT_EVERY``).
+_PROGRESS_HEARTBEAT_EVERY = 1.0
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one coordinator process.
+
+    The per-*sweep* budgets (``max_retries``, ``stall_timeout``,
+    ``checkpoint_every``) arrive with each submission and keep
+    :func:`~repro.runner.elastic.run_sweep_elastic`'s semantics; this
+    config holds only fleet-level policy.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port; see Coordinator.url
+    cache_dir: Optional[str] = None  # None = repro's default cache dir
+    checkpoint_dir: Optional[str] = None  # None = fresh temp dir
+    progress_dir: Optional[str] = None  # None = fresh temp dir
+    #: Seconds without a heartbeat before a worker is presumed dead.
+    heartbeat_timeout: float = 5.0
+    #: Heartbeat cadence advertised to registering workers.
+    heartbeat_every: float = 0.5
+
+
+class _Worker:
+    """Coordinator-side record of one registered worker agent."""
+
+    def __init__(self, worker_id: str, pid: int, host: str) -> None:
+        self.id = worker_id
+        self.pid = pid
+        self.host = host
+        self.last_seen = time.monotonic()
+        #: (sweep_id, index) of the held lease, or None when idle.
+        self.task: Optional[Tuple[str, int]] = None
+        self.lease_started: float = 0.0
+
+
+@dataclass
+class _Shard:
+    """One sweep cell as the coordinator tracks it."""
+
+    point: SweepPoint
+    #: (fn, kwargs) actually executed — kwargs may carry injected
+    #: checkpoint arguments the cache key must never see.
+    task: Tuple[Any, Dict[str, Any]]
+    cache_key: Optional[str]
+    checkpoint_path: Optional[str] = None
+    retries: int = 0
+    outcome: Optional[PointOutcome] = None
+    #: The raw (possibly WithMetrics-wrapped) value, kept verbatim so
+    #: the report endpoint ships exactly what a local run would see.
+    raw_value: Any = None
+    worker_pid: Optional[int] = None
+
+
+class _Sweep:
+    """Authoritative state of one submitted sweep."""
+
+    def __init__(
+        self,
+        sweep_id: str,
+        label: str,
+        shards: List[_Shard],
+        progress_path: str,
+        cache: Optional[ResultCache],
+        max_retries: int,
+        stall_timeout: Optional[float],
+    ) -> None:
+        self.id = sweep_id
+        self.label = label
+        self.shards = shards
+        self.progress_path = progress_path
+        self.progress = ProgressStream(progress_path, label=label)
+        self.cache = cache
+        self.max_retries = max_retries
+        self.stall_timeout = stall_timeout
+        self.status = "running"  # -> "ok" | "failed"
+        self.error: Optional[str] = None
+        self.backlog: List[int] = []
+        self.open_points: set = set()
+        self.remaining = 0
+        self.total_retries = 0
+        self.started = time.perf_counter()
+        self.elapsed = 0.0
+        self.workers_seen: set = set()
+        self.last_beat = time.monotonic()
+
+    def label_of(self, index: int) -> str:
+        return _label_str(self.shards[index].point)
+
+
+class Coordinator:
+    """The sweep-service coordinator; see the module docstring.
+
+    Two ways to run one:
+
+    * :func:`serve` (the ``repro serve`` CLI) — blocks the process on
+      the event loop until interrupted;
+    * :meth:`start` / :meth:`stop` — runs the loop on a background
+      thread and exposes :attr:`url`, for tests and embedding.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        cache_dir = (
+            self.config.cache_dir
+            if self.config.cache_dir is not None
+            else default_cache_dir()
+        )
+        self.cache = ResultCache(cache_dir)
+        self.checkpoint_dir = (
+            self.config.checkpoint_dir
+            if self.config.checkpoint_dir is not None
+            else tempfile.mkdtemp(prefix="repro-service-ckpt-")
+        )
+        self.progress_dir = (
+            self.config.progress_dir
+            if self.config.progress_dir is not None
+            else tempfile.mkdtemp(prefix="repro-service-progress-")
+        )
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        os.makedirs(self.progress_dir, exist_ok=True)
+        self.url: Optional[str] = None
+        self.sweeps: "Dict[str, _Sweep]" = {}
+        self.workers: "Dict[str, _Worker]" = {}
+        self._next_sweep = 0
+        self._next_worker = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._supervisor: Optional["asyncio.Task[None]"] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start_async(self) -> str:
+        """Bind the server and start the reaper on the running loop."""
+        self._server = await start_http_server(
+            self.config.host, self.config.port, self.handle
+        )
+        port = self._server.sockets[0].getsockname()[1]
+        self.url = f"http://{self.config.host}:{port}"
+        self._supervisor = asyncio.get_running_loop().create_task(
+            self._supervise()
+        )
+        return self.url
+
+    async def stop_async(self) -> None:
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for sweep in self.sweeps.values():
+            if sweep.status == "running":
+                sweep.progress.close()
+
+    def start(self) -> str:
+        """Serve from a daemon thread; returns the bound URL."""
+        ready = threading.Event()
+        failure: List[BaseException] = []
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.start_async())
+            except BaseException as exc:  # bind failure etc.
+                failure.append(exc)
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.stop_async())
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-coordinator", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise RuntimeError("coordinator did not start within 10s")
+        if failure:
+            raise failure[0]
+        assert self.url is not None
+        return self.url
+
+    def stop(self) -> None:
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def handle(
+        self, method: str, path: str, body: Optional[Dict[str, Any]]
+    ) -> Tuple[int, Any]:
+        """Route one request.  Runs on the event loop thread."""
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            return self._healthz()
+        if parts and parts[0] == "sweeps":
+            if len(parts) == 1 and method == "POST":
+                return self._submit(body or {})
+            if len(parts) >= 2:
+                sweep = self.sweeps.get(parts[1])
+                if sweep is None:
+                    return 404, {"error": f"unknown sweep {parts[1]!r}"}
+                if len(parts) == 2 and method == "GET":
+                    return self._status(sweep)
+                if len(parts) == 3 and method == "GET":
+                    if parts[2] == "report":
+                        return self._report(sweep)
+                    if parts[2] == "progress":
+                        return self._progress_text(sweep)
+        if parts and parts[0] == "workers":
+            if len(parts) == 1 and method == "POST":
+                return self._register(body or {})
+            if len(parts) == 3 and method == "POST":
+                worker = self.workers.get(parts[1])
+                if worker is None:
+                    # 410: the worker was reaped (dead/stalled); it must
+                    # re-register before doing anything else.
+                    return 410, {"error": f"unknown worker {parts[1]!r}"}
+                worker.last_seen = time.monotonic()
+                if parts[2] == "heartbeat":
+                    return 200, {"ok": True}
+                if parts[2] == "lease":
+                    return self._lease(worker)
+                if parts[2] == "result":
+                    return self._result(worker, body or {})
+                if parts[2] == "events":
+                    return self._events(worker, body or {})
+        return 404, {"error": f"no route for {method} {path}"}
+
+    # ------------------------------------------------------------------
+    # handlers
+
+    def _healthz(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "ok": True,
+            "code_version": self.cache.version,
+            "schema_version": SCHEMA_VERSION,
+            "workers": len(self.workers),
+            "sweeps": len(self.sweeps),
+        }
+
+    def _submit(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        try:
+            points: List[SweepPoint] = decode_payload(body["points"])
+        except Exception as exc:
+            return 400, {"error": f"bad points payload: {exc}"}
+        label = str(body.get("label", "sweep"))
+        use_cache = bool(body.get("use_cache", True))
+        checkpoint_every = int(body.get("checkpoint_every", 0))
+        max_retries = int(body.get("max_retries", 2))
+        stall_timeout = body.get("stall_timeout")
+        if stall_timeout is not None:
+            stall_timeout = float(stall_timeout)
+
+        self._next_sweep += 1
+        sweep_id = f"s{self._next_sweep}"
+        cache = self.cache if use_cache else None
+
+        shards: List[_Shard] = []
+        for i, point in enumerate(points):
+            kwargs = dict(point.kwargs)
+            checkpoint_path = None
+            if checkpoint_every and _accepts_checkpoint(point.fn):
+                checkpoint_path = os.path.join(
+                    self.checkpoint_dir, f"{sweep_id}-shard-{i}.ckpt"
+                )
+                kwargs["checkpoint_every"] = checkpoint_every
+                kwargs["checkpoint_path"] = checkpoint_path
+            shards.append(
+                _Shard(
+                    point=point,
+                    task=(point.fn, kwargs),
+                    # Keyed on the original kwargs only, exactly as the
+                    # local schedulers key: local and distributed sweeps
+                    # share cache entries.
+                    cache_key=(
+                        cache.key_for(point.fn, point.kwargs)
+                        if cache is not None
+                        else None
+                    ),
+                    checkpoint_path=checkpoint_path,
+                )
+            )
+
+        sweep = _Sweep(
+            sweep_id=sweep_id,
+            label=label,
+            shards=shards,
+            progress_path=os.path.join(
+                self.progress_dir, f"{sweep_id}.jsonl"
+            ),
+            cache=cache,
+            max_retries=max_retries,
+            stall_timeout=stall_timeout,
+        )
+        self.sweeps[sweep_id] = sweep
+
+        sweep.progress.emit(
+            "sweep-begin",
+            n_points=len(points),
+            workers=len(self.workers),
+            elastic=True,
+            service=sweep_id,
+            cache_dir=str(cache.directory) if cache is not None else None,
+            code_version=cache.version if cache is not None else None,
+            points=[_label_str(p) for p in points],
+        )
+        for i, point in enumerate(points):
+            sweep.progress.emit(
+                "point-queued", index=i, point=_label_str(point)
+            )
+        for worker in self.workers.values():
+            sweep.progress.emit("worker-spawned", worker=worker.pid)
+
+        for i, shard in enumerate(shards):
+            if cache is not None:
+                hit, value = cache.get(shard.cache_key)
+                if hit:
+                    result, metrics = _unwrap(value)
+                    shard.raw_value = value
+                    shard.outcome = PointOutcome(
+                        shard.point,
+                        result,
+                        cached=True,
+                        elapsed=0.0,
+                        metrics=metrics,
+                    )
+                    _emit_outcome(sweep.progress, i, shard.outcome)
+                    continue
+            sweep.backlog.append(i)
+            sweep.remaining += 1
+
+        if sweep.remaining == 0:
+            self._finish(sweep)
+        return 200, {"sweep": sweep_id, "queued": sweep.remaining}
+
+    def _status(self, sweep: _Sweep) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "sweep": sweep.id,
+            "label": sweep.label,
+            "status": sweep.status,
+            "error": sweep.error,
+            "total": len(sweep.shards),
+            "remaining": sweep.remaining,
+            "retries": sweep.total_retries,
+            "backlog": len(sweep.backlog),
+        }
+
+    def _report(self, sweep: _Sweep) -> Tuple[int, Dict[str, Any]]:
+        if sweep.status != "ok":
+            return 409, {
+                "error": (
+                    f"sweep {sweep.id} is {sweep.status}; a report exists "
+                    f"only once the sweep completed ok"
+                )
+            }
+        outcomes = []
+        for shard in sweep.shards:
+            assert shard.outcome is not None
+            outcomes.append(
+                {
+                    "value": encode_payload(shard.raw_value),
+                    "cached": shard.outcome.cached,
+                    "elapsed": shard.outcome.elapsed,
+                    "worker": shard.worker_pid,
+                    "retries": shard.retries,
+                }
+            )
+        return 200, {
+            "sweep": sweep.id,
+            "label": sweep.label,
+            "outcomes": outcomes,
+            "workers": max(1, len(sweep.workers_seen)),
+            "elapsed": sweep.elapsed,
+            "cache_dir": (
+                str(sweep.cache.directory) if sweep.cache is not None else None
+            ),
+            "retries": sweep.total_retries,
+        }
+
+    def _progress_text(self, sweep: _Sweep) -> Tuple[int, Tuple[str, str]]:
+        with open(sweep.progress_path, "r", encoding="utf-8") as handle:
+            return 200, ("text/plain", handle.read())
+
+    def _register(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        worker_version = body.get("code_version")
+        if worker_version != self.cache.version:
+            # A mismatched tree must never execute shards: its results
+            # would land in the shared cache under this coordinator's
+            # fingerprint.
+            return 409, {
+                "error": (
+                    f"code_version mismatch: worker {worker_version!r} "
+                    f"vs coordinator {self.cache.version!r}"
+                )
+            }
+        self._next_worker += 1
+        worker = _Worker(
+            worker_id=f"w{self._next_worker}",
+            pid=int(body.get("pid", 0)),
+            host=str(body.get("host", "?")),
+        )
+        self.workers[worker.id] = worker
+        for sweep in self.sweeps.values():
+            if sweep.status == "running":
+                sweep.progress.emit("worker-spawned", worker=worker.pid)
+        return 200, {
+            "worker": worker.id,
+            "heartbeat_every": self.config.heartbeat_every,
+        }
+
+    def _lease(self, worker: _Worker) -> Tuple[int, Dict[str, Any]]:
+        if worker.task is not None:
+            # A worker polling while it still holds a lease lost track of
+            # it (e.g. its result post failed); revoke and requeue so the
+            # shard is not stranded.
+            self._requeue(worker, reason="lease abandoned")
+        for sweep in self.sweeps.values():
+            if sweep.status != "running" or not sweep.backlog:
+                continue
+            index = sweep.backlog.pop(0)
+            shard = sweep.shards[index]
+            worker.task = (sweep.id, index)
+            worker.lease_started = time.monotonic()
+            sweep.open_points.add(index)
+            sweep.workers_seen.add(worker.id)
+            sweep.progress.emit(
+                "point-running",
+                index=index,
+                point=sweep.label_of(index),
+                worker=worker.pid,
+                retry=shard.retries,
+            )
+            return 200, {
+                "task": {
+                    "sweep": sweep.id,
+                    "index": index,
+                    "point": sweep.label_of(index),
+                    "payload": encode_payload(shard.task),
+                    "checkpoint_path": shard.checkpoint_path,
+                }
+            }
+        return 200, {"task": None}
+
+    def _result(
+        self, worker: _Worker, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        sweep = self.sweeps.get(str(body.get("sweep")))
+        if sweep is None:
+            return 404, {"error": f"unknown sweep {body.get('sweep')!r}"}
+        index = int(body["index"])
+        shard = sweep.shards[index]
+        if worker.task == (sweep.id, index):
+            worker.task = None
+        if sweep.status != "running" or shard.outcome is not None:
+            # Stale: the shard was re-leased after a stall and another
+            # attempt won, or the sweep already aborted.  First result
+            # wins; determinism makes duplicates interchangeable.
+            return 200, {"ok": True, "stale": True}
+        if not body.get("ok"):
+            error = str(body.get("error", "unknown worker error"))
+            sweep.open_points.discard(index)
+            sweep.progress.emit(
+                "point-failed",
+                index=index,
+                point=sweep.label_of(index),
+                error=error,
+                worker=worker.pid,
+            )
+            self._abort(
+                sweep,
+                f"sweep {sweep.label!r} point "
+                f"{sweep.shards[index].point.label!r} failed: {error}",
+            )
+            return 200, {"ok": True}
+        value = decode_payload(body["value"])
+        elapsed = float(body.get("elapsed", 0.0))
+        if sweep.cache is not None:
+            sweep.cache.put(
+                shard.cache_key,
+                value,
+                meta={
+                    "label": sweep.label,
+                    "point": repr(shard.point.label),
+                },
+            )
+        result, metrics = _unwrap(value)
+        shard.raw_value = value
+        shard.worker_pid = worker.pid
+        shard.outcome = PointOutcome(
+            shard.point, result, cached=False, elapsed=elapsed, metrics=metrics
+        )
+        _emit_outcome(sweep.progress, index, shard.outcome, worker=worker.pid)
+        sweep.open_points.discard(index)
+        sweep.remaining -= 1
+        if shard.checkpoint_path is not None:
+            try:
+                os.unlink(shard.checkpoint_path)
+            except OSError:
+                pass
+        if sweep.remaining == 0:
+            self._finish(sweep)
+        return 200, {"ok": True}
+
+    def _events(
+        self, worker: _Worker, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Relay a worker's progress events into the merged stream.
+
+        The coordinator re-emits through its own ProgressStream, which
+        stamps fresh ``seq``/``t``/``schema_version`` — worker-side
+        stamps (if any) never reach the merged file, so the stream stays
+        totally ordered for read_progress/rollup/report.
+        """
+        sweep = self.sweeps.get(str(body.get("sweep")))
+        if sweep is None:
+            return 404, {"error": f"unknown sweep {body.get('sweep')!r}"}
+        if sweep.status != "running":
+            return 200, {"ok": True, "stale": True}
+        for event in body.get("events", []):
+            name = event.get("event")
+            fields = {
+                k: v
+                for k, v in event.items()
+                if k not in ("event", "seq", "t", "schema_version", "sweep",
+                             "record")
+            }
+            fields.setdefault("worker", worker.pid)
+            sweep.progress.emit(name, **fields)  # validates the vocabulary
+        return 200, {"ok": True}
+
+    # ------------------------------------------------------------------
+    # supervision (reaper / heartbeats), on the event loop
+
+    async def _supervise(self) -> None:
+        while True:
+            await asyncio.sleep(_REAP_INTERVAL)
+            now = time.monotonic()
+            for worker in list(self.workers.values()):
+                if now - worker.last_seen > self.config.heartbeat_timeout:
+                    self._reap(worker, stalled=False)
+            for sweep in self.sweeps.values():
+                if sweep.status != "running":
+                    continue
+                if sweep.stall_timeout is not None:
+                    for worker in list(self.workers.values()):
+                        if worker.task is None or worker.task[0] != sweep.id:
+                            continue
+                        held = now - worker.lease_started
+                        if held > sweep.stall_timeout:
+                            sweep.progress.emit(
+                                "worker-stalled",
+                                worker=worker.pid,
+                                index=worker.task[1],
+                                point=sweep.label_of(worker.task[1]),
+                                held_s=round(held, 3),
+                                stall_timeout=sweep.stall_timeout,
+                            )
+                            self._reap(worker, stalled=True)
+                if (
+                    sweep.status == "running"
+                    and now - sweep.last_beat >= _PROGRESS_HEARTBEAT_EVERY
+                ):
+                    sweep.last_beat = now
+                    busy = sum(
+                        1
+                        for w in self.workers.values()
+                        if w.task is not None and w.task[0] == sweep.id
+                    )
+                    sweep.progress.emit(
+                        "worker-heartbeat",
+                        workers=len(self.workers),
+                        busy=busy,
+                        backlog=len(sweep.backlog),
+                        remaining=sweep.remaining,
+                    )
+
+    def _reap(self, worker: _Worker, stalled: bool) -> None:
+        """Deregister ``worker``; requeue or fail its shard.
+
+        ``stalled=False`` is the heartbeat-timeout path (presumed dead —
+        the SIGKILL analogue); ``stalled=True`` is the stall-budget path
+        (presumed hung, possibly still computing — its late result will
+        be dropped as stale).
+        """
+        self.workers.pop(worker.id, None)
+        task = worker.task
+        worker.task = None
+        if task is None:
+            # Idle death still shrinks the pool every running sweep sees.
+            for sweep in self.sweeps.values():
+                if sweep.status == "running":
+                    sweep.progress.emit("worker-died", worker=worker.pid)
+            return
+        sweep_id, index = task
+        sweep = self.sweeps.get(sweep_id)
+        if sweep is None or sweep.status != "running":
+            return
+        if not stalled:
+            sweep.progress.emit(
+                "worker-died",
+                worker=worker.pid,
+                index=index,
+                point=sweep.label_of(index),
+            )
+        shard = sweep.shards[index]
+        if shard.outcome is not None:
+            return  # result already landed; nothing to recover
+        shard.retries += 1
+        sweep.total_retries += 1
+        if shard.retries > sweep.max_retries:
+            sweep.open_points.discard(index)
+            sweep.progress.emit(
+                "point-failed",
+                index=index,
+                point=sweep.label_of(index),
+                error=(
+                    f"retries exhausted ({sweep.max_retries}) after worker "
+                    f"{'stall' if stalled else 'death'}"
+                ),
+                worker=worker.pid,
+            )
+            self._abort(
+                sweep,
+                f"sweep {sweep.label!r} point {shard.point.label!r} "
+                f"exceeded {sweep.max_retries} retries",
+            )
+            return
+        resume = bool(
+            shard.checkpoint_path is not None
+            and os.path.exists(shard.checkpoint_path)
+        )
+        sweep.progress.emit(
+            "point-retried",
+            index=index,
+            point=sweep.label_of(index),
+            retry=shard.retries,
+            max_retries=sweep.max_retries,
+            resume=resume,
+            worker=worker.pid,
+        )
+        # Re-queue at the front: a half-done shard (with a checkpoint to
+        # resume) beats starting fresh work.
+        sweep.backlog.insert(0, index)
+
+    def _requeue(self, worker: _Worker, reason: str) -> None:
+        """Return a worker's lease to the backlog without reaping it."""
+        assert worker.task is not None
+        sweep_id, index = worker.task
+        worker.task = None
+        sweep = self.sweeps.get(sweep_id)
+        if sweep is None or sweep.status != "running":
+            return
+        if sweep.shards[index].outcome is None:
+            sweep.backlog.insert(0, index)
+
+    # ------------------------------------------------------------------
+    # sweep termination
+
+    def _abort(self, sweep: _Sweep, error: str) -> None:
+        """Fail the sweep, closing every still-open point trail first."""
+        sweep.status = "failed"
+        sweep.error = error
+        sweep.backlog = []
+        reason = f"aborted: sweep {sweep.label!r} failed"
+        for index in sorted(sweep.open_points):
+            sweep.progress.emit(
+                "point-failed",
+                index=index,
+                point=sweep.label_of(index),
+                error=reason,
+            )
+        sweep.open_points.clear()
+        sweep.elapsed = time.perf_counter() - sweep.started
+        sweep.progress.emit(
+            "sweep-end",
+            status="failed",
+            error=error,
+            retries=sweep.total_retries,
+            elapsed=sweep.elapsed,
+        )
+        sweep.progress.close()
+        # Leases on a failed sweep are void; late results drop as stale.
+        for worker in self.workers.values():
+            if worker.task is not None and worker.task[0] == sweep.id:
+                worker.task = None
+
+    def _finish(self, sweep: _Sweep) -> None:
+        sweep.status = "ok"
+        sweep.elapsed = time.perf_counter() - sweep.started
+        hits = sum(
+            1
+            for s in sweep.shards
+            if s.outcome is not None and s.outcome.cached
+        )
+        sweep.progress.emit(
+            "sweep-end",
+            status="ok",
+            n_points=len(sweep.shards),
+            cache_hits=hits,
+            executed=len(sweep.shards) - hits,
+            retries=sweep.total_retries,
+            elapsed=sweep.elapsed,
+        )
+        sweep.progress.close()
+
+
+def serve(config: Optional[ServiceConfig] = None) -> None:
+    """Run a coordinator in the foreground (the ``repro serve`` verb).
+
+    Prints ``repro-service listening on <url>`` once bound — with
+    ``port=0`` this line is how spawners learn the chosen port — then
+    blocks until interrupted.
+    """
+    coordinator = Coordinator(config)
+
+    async def _main() -> None:
+        url = await coordinator.start_async()
+        print(f"repro-service listening on {url}", flush=True)
+        print(
+            f"repro-service cache={coordinator.cache.directory} "
+            f"progress={coordinator.progress_dir}",
+            flush=True,
+        )
+        assert coordinator._server is not None
+        try:
+            await coordinator._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await coordinator.stop_async()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

@@ -30,9 +30,9 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.obs.progress import ProgressStream, as_progress_stream
 from repro.runner.cache import ResultCache, default_cache_dir
@@ -40,6 +40,26 @@ from repro.runner.cache import ResultCache, default_cache_dir
 
 class SweepError(RuntimeError):
     """A sweep point raised; carries which point failed."""
+
+
+class DuplicatePointLabelError(ValueError):
+    """Two sweep outcomes share one label; a keyed view would drop data.
+
+    :attr:`SweepReport.by_key` and :attr:`SweepReport.metrics_by_key`
+    build dicts keyed by point label.  Silently collapsing colliding
+    labels would discard outcomes without a trace, so the collision is
+    an error carrying the label and the indices of the points involved.
+    """
+
+    def __init__(self, label: Hashable, indices: List[int]) -> None:
+        super().__init__(
+            f"duplicate sweep point label {label!r} at point indices "
+            f"{indices}: a by-key view would silently drop outcomes; "
+            f"give the colliding points distinct key= values (or read "
+            f".outcomes, which keeps every point)"
+        )
+        self.label = label
+        self.indices = indices
 
 
 @dataclass(frozen=True)
@@ -110,18 +130,42 @@ class SweepReport:
     def results(self) -> List[Any]:
         return [o.result for o in self.outcomes]
 
+    def _keyed(
+        self, entries: Iterable[Tuple[int, Hashable, Any]]
+    ) -> Dict[Hashable, Any]:
+        """label -> value, raising on collisions instead of dropping."""
+        out: Dict[Hashable, Any] = {}
+        first: Dict[Hashable, int] = {}
+        for index, label, value in entries:
+            if label in first:
+                raise DuplicatePointLabelError(label, [first[label], index])
+            first[label] = index
+            out[label] = value
+        return out
+
     @property
     def by_key(self) -> Dict[Hashable, Any]:
-        return {o.point.label: o.result for o in self.outcomes}
+        """Results keyed by point label.
+
+        Raises :class:`DuplicatePointLabelError` when two points share a
+        label — a dict would silently keep only the last outcome.
+        """
+        return self._keyed(
+            (i, o.point.label, o.result) for i, o in enumerate(self.outcomes)
+        )
 
     @property
     def metrics_by_key(self) -> Dict[Hashable, Dict[str, Any]]:
-        """Telemetry payloads for points that returned :class:`WithMetrics`."""
-        return {
-            o.point.label: o.metrics
-            for o in self.outcomes
+        """Telemetry payloads for points that returned :class:`WithMetrics`.
+
+        Raises :class:`DuplicatePointLabelError` on label collisions,
+        exactly as :attr:`by_key` does.
+        """
+        return self._keyed(
+            (i, o.point.label, o.metrics)
+            for i, o in enumerate(self.outcomes)
             if o.metrics is not None
-        }
+        )
 
     @property
     def cache_hits(self) -> int:
@@ -145,8 +189,15 @@ class SweepReport:
 def _label_str(point: SweepPoint) -> str:
     """Human/JSON-friendly form of a point's label for progress events."""
     label = point.label
-    if isinstance(label, tuple) and all(
-        isinstance(item, tuple) and len(item) == 2 for item in label
+    # The emptiness guard matters: all() over an empty tuple is
+    # vacuously true, and the join would render the label as "" —
+    # progress events and reports must never carry a blank point label.
+    if (
+        isinstance(label, tuple)
+        and label
+        and all(
+            isinstance(item, tuple) and len(item) == 2 for item in label
+        )
     ):
         return ", ".join(f"{k}={v}" for k, v in label)
     return repr(label)
@@ -271,6 +322,11 @@ def run_sweep(
 
     outcomes: List[Optional[PointOutcome]] = [None] * len(points)
     pending: List[int] = []
+    #: Indices with a point-running emitted but no terminal event yet;
+    #: closed with point-failed on any abort so the
+    #: one-terminal-event-per-point invariant (docs/observability.md)
+    #: holds on failure paths too.
+    open_points: set = set()
     try:
         for i, point in enumerate(points):
             if cache is not None:
@@ -289,36 +345,65 @@ def run_sweep(
         if pending:
             if n_workers == 1 or len(pending) == 1:
                 for i in pending:
+                    open_points.add(i)
                     if progress is not None:
                         progress.emit(
                             "point-running",
                             index=i,
                             point=_label_str(points[i]),
                         )
-                    outcomes[i] = _run_one(
-                        points[i], cache, label, verbose, progress, i
-                    )
+                    try:
+                        outcomes[i] = _run_one(
+                            points[i], cache, label, verbose, progress, i
+                        )
+                    except SweepError:
+                        # _run_one already emitted this point's terminal
+                        # point-failed; keep it out of the abort closer.
+                        open_points.discard(i)
+                        raise
                     _emit_outcome(progress, i, outcomes[i])
+                    open_points.discard(i)
             else:
                 with _pool(min(n_workers, len(pending))) as pool:
-                    futures = {
-                        i: pool.submit(
+                    index_of = {
+                        pool.submit(
                             _execute, points[i].fn, points[i].kwargs
-                        )
+                        ): i
                         for i in pending
                     }
                     if progress is not None:
-                        for i in futures:
+                        for i in index_of.values():
                             progress.emit(
                                 "point-running",
                                 index=i,
                                 point=_label_str(points[i]),
                             )
-                    for i, future in futures.items():
+                    # Collect in completion order, not submission order:
+                    # point-done timing is honest, and the first failure
+                    # can cancel work that has not started yet.  Every
+                    # dispatched point still gets exactly one terminal
+                    # event (point-done or point-failed) before the
+                    # sweep-end — in-flight points finish and report,
+                    # cancelled ones fail explicitly, instead of dying
+                    # silently inside the pool's __exit__.
+                    first_failure: Optional[Tuple[int, BaseException]] = None
+                    open_points.update(index_of.values())
+                    for future in as_completed(index_of):
+                        i = index_of[future]
                         point = points[i]
                         try:
                             value, elapsed = future.result()
+                        except CancelledError:
+                            open_points.discard(i)
+                            if progress is not None:
+                                progress.emit(
+                                    "point-failed",
+                                    index=i,
+                                    point=_label_str(point),
+                                    error="cancelled: sweep aborted",
+                                )
                         except Exception as exc:
+                            open_points.discard(i)
                             if progress is not None:
                                 progress.emit(
                                     "point-failed",
@@ -326,14 +411,22 @@ def run_sweep(
                                     point=_label_str(point),
                                     error=str(exc),
                                 )
-                            raise SweepError(
-                                f"sweep {label!r} point {point.label!r} "
-                                f"failed: {exc}"
-                            ) from exc
-                        outcomes[i] = _record(
-                            point, value, elapsed, cache, label, verbose
-                        )
-                        _emit_outcome(progress, i, outcomes[i])
+                            if first_failure is None:
+                                first_failure = (i, exc)
+                                for other in index_of:
+                                    other.cancel()
+                        else:
+                            outcomes[i] = _record(
+                                point, value, elapsed, cache, label, verbose
+                            )
+                            _emit_outcome(progress, i, outcomes[i])
+                            open_points.discard(i)
+                    if first_failure is not None:
+                        i, exc = first_failure
+                        raise SweepError(
+                            f"sweep {label!r} point {points[i].label!r} "
+                            f"failed: {exc}"
+                        ) from exc
 
         done: List[PointOutcome] = [o for o in outcomes if o is not None]
         assert len(done) == len(points)
@@ -355,6 +448,19 @@ def run_sweep(
                 elapsed=report.elapsed,
             )
     except BaseException as exc:
+        # Close any trail the failure path itself did not terminate
+        # (e.g. KeyboardInterrupt mid-pool) before the terminal
+        # sweep-end: consumers may trust that a failed stream still
+        # carries exactly one terminal event per dispatched point.
+        if progress is not None:
+            for i in sorted(open_points):
+                progress.emit(
+                    "point-failed",
+                    index=i,
+                    point=_label_str(points[i]),
+                    error=f"aborted: sweep {label!r} failed",
+                )
+        open_points.clear()
         if progress is not None:
             progress.emit(
                 "sweep-end",

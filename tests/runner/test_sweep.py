@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.runner import (
+    DuplicatePointLabelError,
     ResultCache,
     SweepError,
     SweepPoint,
@@ -13,6 +14,7 @@ from repro.runner import (
     code_version,
     run_sweep,
 )
+from repro.runner.sweep import _label_str
 from repro.runner import cache as cache_mod
 
 
@@ -220,3 +222,37 @@ def test_metrics_absent_for_plain_points(tmp_path):
     (outcome,) = report.outcomes
     assert outcome.metrics is None
     assert report.metrics_by_key == {}
+
+
+def test_duplicate_labels_raise_instead_of_dropping(tmp_path):
+    # Two points with the same explicit key: a dict view would silently
+    # keep only the last outcome, so by_key must refuse.
+    points = [
+        SweepPoint(square, {"x": 2}, key="same"),
+        SweepPoint(square, {"x": 3}, key="same"),
+    ]
+    report = run_sweep(points, cache_dir=tmp_path, label="dup")
+    assert report.results == [4, 9]  # .outcomes keeps every point
+    with pytest.raises(DuplicatePointLabelError) as excinfo:
+        report.by_key
+    assert excinfo.value.label == "same"
+    assert excinfo.value.indices == [0, 1]
+    assert "distinct key=" in str(excinfo.value)
+
+
+def test_duplicate_labels_raise_in_metrics_view(tmp_path):
+    points = [
+        SweepPoint(square_with_metrics, {"x": 2}, key="same"),
+        SweepPoint(square_with_metrics, {"x": 3}, key="same"),
+    ]
+    report = run_sweep(points, cache_dir=tmp_path, label="dup")
+    with pytest.raises(DuplicatePointLabelError):
+        report.metrics_by_key
+
+
+def test_label_str_never_renders_blank():
+    # A no-kwargs point's default label is the empty tuple; all() over
+    # it is vacuously true, which used to render the label as "".
+    assert _label_str(SweepPoint(square, {})) == "()"
+    assert _label_str(SweepPoint(square, {}, key="named")) == "'named'"
+    assert _label_str(SweepPoint(square, {"x": 2})) == "x=2"

@@ -45,11 +45,19 @@ SURFACE = [
     ("repro.checkpoint", "restore_bytes"),
     ("repro.checkpoint", "save"),
     ("repro.checkpoint", "snapshot_bytes"),
+    ("repro.runner", "DuplicatePointLabelError"),
     ("repro.runner", "SweepPoint"),
     ("repro.runner", "SweepReport"),
     ("repro.runner", "derive_seed"),
     ("repro.runner", "run_sweep"),
     ("repro.runner", "run_sweep_elastic"),
+    ("repro.runner.service", "Coordinator"),
+    ("repro.runner.service", "ServiceConfig"),
+    ("repro.runner.service", "ServiceError"),
+    ("repro.runner.service", "run_sweep_service"),
+    ("repro.runner.service", "run_worker"),
+    ("repro.runner.service", "serve"),
+    ("repro.runner.service", "submit_sweep"),
     ("repro.schema", "SCHEMA_VERSION"),
     ("repro.schema", "SchemaMismatchError"),
     ("repro.schema", "check_schema"),
