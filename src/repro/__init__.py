@@ -53,9 +53,12 @@ from repro.workloads import (
     MemRef,
     Op,
     ScriptedWorkload,
+    StreamingTraceWorkload,
     TraceWorkload,
     UniformWorkload,
     Workload,
+    WorkloadSpecError,
+    parse_workload,
 )
 
 __version__ = "1.0.0"
@@ -116,6 +119,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaMismatchError",
     "SimulationResults",
+    "StreamingTraceWorkload",
     "TimingConfig",
     "TraceWorkload",
     "TranslationBuffer",
@@ -123,9 +127,11 @@ __all__ = [
     "TwoBitDirectoryController",
     "UniformWorkload",
     "Workload",
+    "WorkloadSpecError",
     "audit_machine",
     "build_machine",
     "describe_machine",
+    "parse_workload",
     "render_topology",
     "resume",
     "run_point",

@@ -39,7 +39,8 @@ from repro.runner.seeds import derive_seed
 from repro.runner.sweep import SweepPoint, SweepReport, WithMetrics
 from repro.system.machine import Machine, SimulationResults
 from repro.verification.audit import AuditReport, audit_machine
-from repro.workloads.synthetic import DuboisBriggsWorkload
+from repro.workloads.registry import WorkloadContext, make_workload
+from repro.workloads.synthetic import Workload
 
 __all__ = ["Experiment", "RunOutcome", "resume", "run_point"]
 
@@ -90,6 +91,17 @@ class Experiment:
             executes the build-time table-compiled kernel, verified
             against the interpreted reference once per code version;
             ``"interpreted"`` forces the classic per-event dispatch.
+        workload: what the processors execute — a registry spec string
+            (``"dubois:low"``, ``"uniform"``, ``"trace:path.trace"``,
+            ``"scripted:hot_cold"`` — see
+            :mod:`repro.workloads.registry`), a built
+            :class:`~repro.workloads.synthetic.Workload` instance, or
+            None for the legacy default (the Dubois-Briggs model built
+            from ``q``/``w``/``private_blocks_per_proc``/``seed``).
+            Those legacy sharing kwargs stay supported as the context a
+            spec string inherits: ``workload="dubois:low"`` is the same
+            machine as ``q=0.01, w=0.2``.  Workloads with a fixed shape
+            (traces, scripts, instances) override ``n_processors``.
     """
 
     def __init__(
@@ -110,6 +122,7 @@ class Experiment:
         sample_interval: int = 200,
         private_blocks_per_proc: int = 128,
         engine: str = "compiled",
+        workload: Optional[object] = None,
     ) -> None:
         self.protocol = registry.canonical_name(protocol)
         self.n_processors = n_processors
@@ -135,6 +148,12 @@ class Experiment:
                 f"'compiled'"
             )
         self.engine = engine
+        if workload is not None and not isinstance(workload, (str, Workload)):
+            raise TypeError(
+                "workload must be a registry spec string, a Workload "
+                f"instance, or None; got {type(workload).__name__}"
+            )
+        self.workload = workload
 
     # ------------------------------------------------------------------
     # Introspection
@@ -163,6 +182,7 @@ class Experiment:
             "sample_interval": self.sample_interval,
             "private_blocks_per_proc": self.private_blocks_per_proc,
             "engine": self.engine,
+            "workload": self.workload,
         }
 
     def variant(self, **overrides: Any) -> "Experiment":
@@ -201,15 +221,21 @@ class Experiment:
         from repro.faults import attach_faults
         from repro.system.builder import build_machine
 
-        workload = DuboisBriggsWorkload(
-            n_processors=self.n_processors,
-            q=self.q,
-            w=self.w,
-            private_blocks_per_proc=self.private_blocks_per_proc,
-            seed=self.seed,
+        workload = make_workload(
+            self.workload,
+            WorkloadContext(
+                n_processors=self.n_processors,
+                seed=self.seed,
+                q=self.q,
+                w=self.w,
+                private_blocks_per_proc=self.private_blocks_per_proc,
+            ),
         )
         config = MachineConfig(
-            n_processors=self.n_processors,
+            # Fixed-shape workloads (traces, scripts, prebuilt instances)
+            # dictate the processor count; generative families take it
+            # from the experiment's n_processors via the context above.
+            n_processors=workload.n_processors,
             n_modules=self.n_modules,
             n_blocks=workload.n_blocks,
             protocol=self.protocol,
@@ -245,6 +271,7 @@ class Experiment:
         instrument: bool = False,
         keep_events: bool = False,
         strict: bool = True,
+        record_trace: Optional[str] = None,
     ) -> RunOutcome:
         """Simulate, audit, and return the outcome.
 
@@ -256,16 +283,31 @@ class Experiment:
             instrument: attach the observability hub.
             keep_events: retain raw events/spans for trace export.
             strict: raise on a failed coherence audit.
+            record_trace: write the run's reference stream (warm-up
+                included) to this path as a replayable trace; replaying
+                it via ``workload="trace:<path>"`` with the same
+                warm-up/measure split reproduces the run bit-for-bit.
         """
         machine, obs = self.build(
             instrument=instrument, keep_events=keep_events
         )
+        recorder = None
+        if record_trace is not None:
+            from repro.workloads.recorder import attach_recorder
+
+            recorder = attach_recorder(machine)
         machine.run(
             refs_per_proc=self.refs_per_proc,
             warmup_refs=self.warmup_refs,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
         )
+        if recorder is not None:
+            recorder.write(
+                record_trace,
+                n_processors=machine.config.n_processors,
+                n_blocks=machine.config.n_blocks,
+            )
         audit = audit_machine(machine)
         if strict:
             audit.raise_if_failed()

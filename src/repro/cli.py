@@ -42,6 +42,7 @@ from repro.core.spec import render_spec
 from repro.protocols import registry
 from repro.stats.tables import Table
 from repro.verification.audit import audit_machine
+from repro.workloads.registry import WorkloadSpecError
 
 #: Canonical names + aliases, for CLI --protocol choice lists.
 PROTOCOL_CHOICES = tuple(
@@ -78,6 +79,10 @@ _PARAM_HELP = {
     "engine": "protocol dispatch engine: the table-compiled kernel "
     "(default; verified against the interpreted reference once per code "
     "version) or the classic interpreted dispatch",
+    "workload": "workload registry spec: NAME[:ARG[,key=value...]], e.g. "
+    "'dubois:low', 'uniform:n_blocks=64', 'trace:path.trace', "
+    "'scripted:hot_cold' (default: the Dubois-Briggs model built from "
+    "-q/-w; see docs/workloads.md)",
 }
 
 
@@ -114,6 +119,13 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
             parser.add_argument(
                 *flags, dest=name, choices=("interpreted", "compiled"),
                 default=default, help=help_text,
+            )
+        elif name == "workload":
+            # Default None (meaning "legacy Dubois-Briggs from -q/-w"),
+            # so the generic type(default) coercion cannot apply.
+            parser.add_argument(
+                *flags, dest=name, default=None, metavar="SPEC",
+                help=help_text,
             )
         else:
             parser.add_argument(
@@ -198,16 +210,35 @@ def _build_and_run(
     ``instrument`` was requested (or the args carry ``--metrics-out``).
     """
     experiment = _experiment_from_args(args, protocol)
-    machine, obs = experiment.build(
-        instrument=instrument or bool(getattr(args, "metrics_out", None)),
-        keep_events=keep_events,
-    )
+    try:
+        machine, obs = experiment.build(
+            instrument=instrument or bool(getattr(args, "metrics_out", None)),
+            keep_events=keep_events,
+        )
+    except WorkloadSpecError as exc:
+        raise SystemExit(f"--workload: {exc}")
+    record_trace = getattr(args, "record_trace", None)
+    recorder = None
+    if record_trace:
+        from repro.workloads.recorder import attach_recorder
+
+        recorder = attach_recorder(machine)
     machine.run(
         refs_per_proc=experiment.refs_per_proc,
         warmup_refs=experiment.warmup_refs,
         checkpoint_every=getattr(args, "checkpoint_every", 0),
         checkpoint_path=getattr(args, "checkpoint_path", None),
     )
+    if recorder is not None:
+        count = recorder.write(
+            record_trace,
+            n_processors=machine.config.n_processors,
+            n_blocks=machine.config.n_blocks,
+        )
+        print(
+            f"trace recorded to {record_trace}: {count} refs "
+            f"(replay with --workload trace:{record_trace})"
+        )
     return machine, obs
 
 
@@ -620,6 +651,64 @@ def _check_scenarios(args: argparse.Namespace):
     return scenarios
 
 
+def cmd_hunt(args: argparse.Namespace) -> int:
+    from repro.workloads import adversarial
+
+    args.protocol = registry.canonical_name(args.protocol)
+    faults = getattr(args, "faults", None)
+    if faults is not None and args.protocol not in FAULT_PROTOCOLS:
+        raise SystemExit(
+            f"--faults: {args.protocol} has no NAK/retry recovery path; "
+            f"choose from {', '.join(FAULT_PROTOCOLS)}"
+        )
+
+    if args.replay is not None:
+        stressor = adversarial.load_stressor(args.replay)
+        outcome, score = stressor.replay(max_steps=args.max_steps)
+        print(
+            f"replay {stressor.name}: status={outcome.status} "
+            f"score={score:.4f} (promoted {stressor.score:.4f}) "
+            f"schedule={outcome.schedule}"
+        )
+        if outcome.status != "ok" or score != stressor.score:
+            print("replay MISMATCH: stressor did not reproduce")
+            return 1
+        print("replay OK: bit-identical")
+        return 0
+
+    try:
+        result = adversarial.hunt(
+            args.protocol,
+            args.objective,
+            budget=args.budget,
+            seed=args.seed,
+            n_processors=args.n_processors,
+            script_len=args.script_len,
+            n_blocks=args.blocks,
+            probes=args.probes,
+            faults=faults,
+            max_steps=args.max_steps,
+            name=args.name,
+        )
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(f"hunt: {exc}")
+    print(result.summary())
+    if args.promote:
+        adversarial.promote(result.best, args.promote)
+        print(
+            f"stressor promoted to {args.promote} "
+            f"(replay: repro hunt --replay {args.promote}; "
+            f"run: repro run --workload scripted:{args.promote})"
+        )
+    if args.require_gain and result.best.score <= result.baseline:
+        print(
+            f"hunt: best score {result.best.score:.4f} did not beat the "
+            f"Dubois-Briggs baseline {result.baseline:.4f}"
+        )
+        return 1
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     from repro.verification import differential, model_check
     from repro.verification.schedules import parse_schedule
@@ -752,6 +841,11 @@ def make_parser() -> argparse.ArgumentParser:
                        "cycles (needs --checkpoint-path)")
     p_run.add_argument("--checkpoint-path", default=None, metavar="PATH",
                        help="checkpoint file; may contain '{cycle}'")
+    p_run.add_argument("--record-trace", default=None, metavar="PATH",
+                       help="write the run's reference stream (warm-up "
+                       "included) as a replayable trace; feed it back "
+                       "with --workload trace:PATH to reproduce the run "
+                       "bit-for-bit")
     p_run.add_argument("--resume", default=None, metavar="PATH",
                        help="restore PATH and finish the interrupted run "
                        "(bit-identical to an uninterrupted one)")
@@ -961,6 +1055,41 @@ def make_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("-v", "--verbose", action="store_true",
                        help="also print merged counter totals per protocol")
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_hunt = sub.add_parser(
+        "hunt",
+        help="coverage-guided search for adversarial workloads",
+    )
+    p_hunt.add_argument("--protocol", choices=PROTOCOL_CHOICES,
+                        default="twobit")
+    p_hunt.add_argument("--objective", default="broadcast_overhead",
+                        help="stress metric to maximise "
+                        "(broadcast_overhead, nak_retries, latency)")
+    p_hunt.add_argument("--budget", type=int, default=200,
+                        help="schedule-probe evaluations to spend")
+    p_hunt.add_argument("--seed", type=int, default=1984,
+                        help="master seed (same seed = same hunt)")
+    p_hunt.add_argument("-n", "--n-processors", type=int, default=4)
+    p_hunt.add_argument("--script-len", type=int, default=8,
+                        help="initial refs per processor script")
+    p_hunt.add_argument("--blocks", type=int, default=4,
+                        help="block-pool size (small pools force conflict)")
+    p_hunt.add_argument("--probes", type=int, default=2,
+                        help="random schedules explored per candidate")
+    p_hunt.add_argument("--max-steps", type=int, default=4000,
+                        help="livelock bound per probe")
+    p_hunt.add_argument("--name", default="hunted",
+                        help="name stamped on the promoted stressor")
+    p_hunt.add_argument("--promote", default=None, metavar="PATH",
+                        help="write the best stressor to PATH as JSON")
+    p_hunt.add_argument("--replay", default=None, metavar="PATH",
+                        help="replay a promoted stressor file instead of "
+                        "hunting; exits nonzero unless bit-identical")
+    p_hunt.add_argument("--require-gain", action="store_true",
+                        help="exit nonzero unless the best stressor beats "
+                        "the Dubois-Briggs HIGH_SHARING baseline")
+    _add_faults_arg(p_hunt)
+    p_hunt.set_defaults(fn=cmd_hunt)
 
     p_check = sub.add_parser(
         "check",

@@ -108,6 +108,9 @@ class TransactionSpan:
 
 Listener = Callable[[ObsEvent], None]
 
+#: ``(pid, now, ref)`` callback fired once per issued memory reference.
+RefListener = Callable[[int, int, Any], None]
+
 
 class Observability:
     """Event hub + span tracker + sampler host for one machine."""
@@ -126,6 +129,7 @@ class Observability:
         self.phases: Dict[str, Histogram] = {}
         self._active: Dict[int, TransactionSpan] = {}
         self._listeners: List[Listener] = []
+        self._ref_listeners: List[RefListener] = []
 
     # ------------------------------------------------------------------
     # Listeners
@@ -136,6 +140,24 @@ class Observability:
     def remove_listener(self, listener: Listener) -> None:
         if listener in self._listeners:
             self._listeners.remove(listener)
+
+    def add_ref_listener(self, listener: RefListener) -> None:
+        """Register a per-issued-reference callback.
+
+        Fired from :meth:`span_begin` — exactly once per reference a
+        processor pulls from its stream (NAK retries replay below the
+        cache and never re-issue), in global simulation issue order.
+        This is the hook the trace recorder
+        (:class:`repro.workloads.recorder.TraceRecorder`) rides on.
+        Unlike spans/events, ref listeners survive :meth:`reset` — a
+        recorded trace must include the warm-up prefix to replay
+        bit-identically.
+        """
+        self._ref_listeners.append(listener)
+
+    def remove_ref_listener(self, listener: RefListener) -> None:
+        if listener in self._ref_listeners:
+            self._ref_listeners.remove(listener)
 
     # ------------------------------------------------------------------
     # Events
@@ -182,6 +204,9 @@ class Observability:
             op="W" if ref.is_write else "R",
             start=now,
         )
+        if self._ref_listeners:
+            for listener in self._ref_listeners:
+                listener(pid, now, ref)
         self.tick(now)
 
     def span_phase(self, pid: int, now: int, phase: str) -> None:

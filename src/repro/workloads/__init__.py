@@ -1,8 +1,27 @@
 """Workloads: the Dubois-Briggs two-stream model, traces, and helpers."""
 
+from repro.workloads.adversarial import (
+    OBJECTIVES,
+    HuntResult,
+    Stressor,
+    dubois_baseline,
+    hunt,
+    load_stressor,
+    promote,
+)
 from repro.workloads.locks import LockContentionWorkload
 from repro.workloads.migration import MigratingWorkload
+from repro.workloads.recorder import TraceRecorder, attach_recorder
 from repro.workloads.reference import MemRef, Op
+from repro.workloads.registry import (
+    WORKLOADS,
+    WorkloadContext,
+    WorkloadSpec,
+    WorkloadSpecError,
+    make_workload,
+    parse_workload,
+    workload_names,
+)
 from repro.workloads.synthetic import (
     HIGH_SHARING,
     LOW_SHARING,
@@ -14,24 +33,57 @@ from repro.workloads.synthetic import (
     Workload,
     hot_cold_scripts,
 )
-from repro.workloads.traces import TraceWorkload, read_trace, record, write_trace
+from repro.workloads.traces import (
+    StreamingTraceWorkload,
+    TraceFormatError,
+    TraceMeta,
+    TraceWorkload,
+    iter_trace,
+    read_trace,
+    record,
+    record_stream,
+    scan_trace_meta,
+    write_trace,
+)
 
 __all__ = [
     "DuboisBriggsWorkload",
+    "HuntResult",
     "LockContentionWorkload",
     "MigratingWorkload",
     "HIGH_SHARING",
     "LOW_SHARING",
     "MODERATE_SHARING",
     "MemRef",
+    "OBJECTIVES",
     "Op",
     "ScriptedWorkload",
     "SharingLevel",
+    "StreamingTraceWorkload",
+    "Stressor",
+    "TraceFormatError",
+    "TraceMeta",
+    "TraceRecorder",
     "TraceWorkload",
     "UniformWorkload",
+    "WORKLOADS",
     "Workload",
+    "WorkloadContext",
+    "WorkloadSpec",
+    "WorkloadSpecError",
+    "attach_recorder",
+    "dubois_baseline",
     "hot_cold_scripts",
+    "hunt",
+    "iter_trace",
+    "load_stressor",
+    "make_workload",
+    "parse_workload",
+    "promote",
     "read_trace",
     "record",
+    "record_stream",
+    "scan_trace_meta",
+    "workload_names",
     "write_trace",
 ]

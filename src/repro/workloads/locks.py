@@ -98,6 +98,17 @@ class LockContentionWorkload(Workload):
     def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         return self._generate(pid)
 
+    def __repr__(self) -> str:
+        return (
+            f"LockContentionWorkload(n_processors={self.n_processors}, "
+            f"n_locks={self.n_locks}, "
+            f"protected_blocks_per_lock={self.protected_blocks_per_lock}, "
+            f"critical_section_refs={self.critical_section_refs}, "
+            f"think_refs={self.think_refs}, "
+            f"think_blocks_per_proc={self.think_blocks_per_proc}, "
+            f"seed={self.seed})"
+        )
+
     def _generate(self, pid: int) -> Iterator[MemRef]:
         rng = random.Random(f"{self.seed}-lock-{pid}")
         private: List[int] = list(self.private_pool(pid))

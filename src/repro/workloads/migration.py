@@ -98,6 +98,17 @@ class MigratingWorkload(Workload):
     def _raw_stream(self, pid: int) -> Iterator[MemRef]:
         return self._generate(pid)
 
+    def __repr__(self) -> str:
+        return (
+            f"MigratingWorkload(n_processors={self.n_processors}, "
+            f"migration_interval={self.migration_interval}, "
+            f"q={self.q}, w={self.w}, "
+            f"n_shared_blocks={self.n_shared_blocks}, "
+            f"process_blocks={self.process_blocks}, "
+            f"private_write_frac={self.private_write_frac}, "
+            f"seed={self.seed})"
+        )
+
     def _generate(self, pid: int) -> Iterator[MemRef]:
         rng = random.Random(f"{self.seed}-mig-{pid}")
         shared: List[int] = list(self.shared_blocks)

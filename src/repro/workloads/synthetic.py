@@ -211,6 +211,19 @@ class DuboisBriggsWorkload(Workload):
         state["_stream_cache"] = {}
         return state
 
+    def __repr__(self) -> str:
+        # Streams are a pure function of these parameters, so this repr
+        # is a stable content identity (sweep cache keys embed it).
+        return (
+            f"DuboisBriggsWorkload(n_processors={self.n_processors}, "
+            f"q={self.q}, w={self.w}, "
+            f"n_shared_blocks={self.n_shared_blocks}, "
+            f"private_blocks_per_proc={self.private_blocks_per_proc}, "
+            f"locality={self.locality}, "
+            f"private_write_frac={self.private_write_frac}, "
+            f"shared_base={self.shared_base}, seed={self.seed})"
+        )
+
     def _replay(self, pid: int) -> Iterator[MemRef]:
         entry = self._stream_cache.get(pid)
         if entry is None:
@@ -303,6 +316,13 @@ class UniformWorkload(Workload):
             op = Op.WRITE if rng.random() < self.write_frac else Op.READ
             yield MemRef(pid=pid, op=op, block=block, shared=True)
 
+    def __repr__(self) -> str:
+        return (
+            f"UniformWorkload(n_processors={self.n_processors}, "
+            f"n_blocks={self.n_blocks}, write_frac={self.write_frac}, "
+            f"seed={self.seed})"
+        )
+
 
 class ScriptedWorkload(Workload):
     """Fixed per-processor reference lists (deterministic tests).
@@ -324,6 +344,21 @@ class ScriptedWorkload(Workload):
             r.block for script in self._scripts for r in script
         ]
         return (max(blocks) + 1) if blocks else 1
+
+    def __repr__(self) -> str:
+        import hashlib
+
+        h = hashlib.sha256()
+        for script in self._scripts:
+            for ref in script:
+                h.update(str(ref).encode("ascii"))
+                h.update(b"\n")
+            h.update(b"|")
+        refs = sum(len(s) for s in self._scripts)
+        return (
+            f"ScriptedWorkload(n_processors={self.n_processors}, "
+            f"refs={refs}, digest={h.hexdigest()[:16]!r})"
+        )
 
 
 def hot_cold_scripts(

@@ -217,3 +217,65 @@ def test_run_accepts_alias(capsys):
     )
     assert code == 0
     assert "coherence audit: CLEAN" in capsys.readouterr().out
+
+
+def test_run_workload_spec(capsys):
+    code = main(
+        ["run", "--workload", "dubois:low", "-n", "2", "--refs", "100",
+         "--warmup", "20"]
+    )
+    assert code == 0
+    assert "coherence audit: CLEAN" in capsys.readouterr().out
+
+
+def test_run_workload_uniform_kv(capsys):
+    code = main(
+        ["run", "--workload", "uniform:n_blocks=32", "-n", "2",
+         "--refs", "100", "--warmup", "0"]
+    )
+    assert code == 0
+    assert "coherence audit: CLEAN" in capsys.readouterr().out
+
+
+def test_run_bad_workload_spec_exits(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "zipf", "-n", "2", "--refs", "50"])
+
+
+def test_run_record_trace_then_replay(tmp_path, capsys):
+    trace = tmp_path / "run.trace"
+    code = main(
+        ["run", "--protocol", "twobit", "-n", "2", "--refs", "150",
+         "--warmup", "50", "--record-trace", str(trace)]
+    )
+    assert code == 0
+    out1 = capsys.readouterr().out
+    assert f"trace recorded to {trace}" in out1
+    # 2 procs x (150 + 50 warmup) refs captured.
+    assert "400 refs" in out1
+
+    code = main(["run", "--workload", f"trace:{trace}", "--warmup", "0"])
+    assert code == 0
+    out2 = capsys.readouterr().out
+    assert "coherence audit: CLEAN" in out2
+
+
+def test_hunt_promote_and_replay(tmp_path, capsys):
+    stressor = tmp_path / "stressor.json"
+    code = main(
+        ["hunt", "--budget", "8", "--seed", "5", "--probes", "2",
+         "--promote", str(stressor), "--require-gain"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best score" in out
+    assert stressor.exists()
+
+    code = main(["hunt", "--replay", str(stressor)])
+    assert code == 0
+    assert "replay OK: bit-identical" in capsys.readouterr().out
+
+
+def test_hunt_nak_objective_needs_faults(capsys):
+    with pytest.raises(SystemExit):
+        main(["hunt", "--objective", "nak_retries", "--budget", "4"])

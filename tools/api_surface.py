@@ -62,6 +62,27 @@ SURFACE = [
     ("repro.schema", "SchemaMismatchError"),
     ("repro.schema", "check_schema"),
     ("repro.system.machine", "SimulationResults"),
+    ("repro.workloads.adversarial", "HuntResult"),
+    ("repro.workloads.adversarial", "Objective"),
+    ("repro.workloads.adversarial", "Stressor"),
+    ("repro.workloads.adversarial", "dubois_baseline"),
+    ("repro.workloads.adversarial", "hunt"),
+    ("repro.workloads.adversarial", "load_stressor"),
+    ("repro.workloads.adversarial", "promote"),
+    ("repro.workloads.recorder", "TraceRecorder"),
+    ("repro.workloads.recorder", "attach_recorder"),
+    ("repro.workloads.registry", "WorkloadContext"),
+    ("repro.workloads.registry", "WorkloadSpec"),
+    ("repro.workloads.registry", "WorkloadSpecError"),
+    ("repro.workloads.registry", "make_workload"),
+    ("repro.workloads.registry", "parse_workload"),
+    ("repro.workloads.registry", "workload_names"),
+    ("repro.workloads.traces", "StreamingTraceWorkload"),
+    ("repro.workloads.traces", "TraceFormatError"),
+    ("repro.workloads.traces", "TraceMeta"),
+    ("repro.workloads.traces", "iter_trace"),
+    ("repro.workloads.traces", "scan_trace_meta"),
+    ("repro.workloads.traces", "write_trace"),
 ]
 
 
